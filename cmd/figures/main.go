@@ -1,0 +1,205 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from the simulation models and prints the series the paper
+// plots, alongside the paper's reported values where applicable.
+//
+// Usage:
+//
+//	figures               # all experiments at quick scale
+//	figures -fig 11       # one figure
+//	figures -table 1      # Table I
+//	figures -power        # §VII-D power/area model
+//	figures -scale paper  # testbed-scale workloads (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (2,3,9,10,11,12,13); 0 = all")
+	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
+	pow := flag.Bool("power", false, "print the §VII-D power/area model")
+	scale := flag.String("scale", "quick", "workload scale: quick or paper")
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	if *scale == "paper" {
+		sc = experiments.PaperScale()
+	}
+
+	all := *fig == 0 && *table == 0 && !*pow
+	run := func(n int) bool { return all || *fig == n }
+
+	if run(2) {
+		fig2()
+	}
+	if run(3) {
+		fig3(sc)
+	}
+	if run(9) {
+		fig9()
+	}
+	if run(10) {
+		fig10(sc)
+	}
+	if run(11) {
+		fig11(sc)
+	}
+	if run(12) {
+		fig12(sc)
+	}
+	if run(13) {
+		fig13()
+	}
+	if all || *table == 1 {
+		table1(sc)
+	}
+	if all || *pow {
+		powerModel()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+func fig2() {
+	fmt.Println("=== Fig. 2: encrypted-connection bandwidth under packet drops ===")
+	fmt.Println("paper: SmartNIC matches CPU at 0% drops, then collapses as drops rise")
+	fmt.Printf("%-10s %-10s %-12s %s\n", "drop(%)", "config", "Gbps", "resyncs")
+	for _, p := range experiments.Fig2([]float64{0, 0.01, 0.05, 0.1, 0.5, 1.0}) {
+		fmt.Printf("%-10.2f %-10s %-12.2f %d\n", p.DropPct, p.Placement, p.Gbps, p.Resyncs)
+	}
+	fmt.Println()
+}
+
+func fig3(sc experiments.Scale) {
+	fmt.Println("=== Fig. 3: HTTPS memory bandwidth normalized to HTTP ===")
+	fmt.Println("paper: ratio grows with connections, up to ~2.5x")
+	connCounts := []int{16, 64, 256}
+	if sc.Connections > 256 {
+		connCounts = append(connCounts, sc.Connections)
+	}
+	pts, err := experiments.Fig3(sc, connCounts, 4096)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-12s %-14s %-14s %s\n", "connections", "HTTP GB/s", "HTTPS GB/s", "HTTPS/HTTP")
+	for _, p := range pts {
+		fmt.Printf("%-12d %-14.3f %-14.3f %.2fx\n", p.Connections, p.HTTPMemGBps, p.HTTPSMemGBps, p.NormalizedRatio)
+	}
+	fmt.Println()
+}
+
+func fig9() {
+	fmt.Println("=== Fig. 9: rd/wrCAS trace, 4 cores running CompCpy ===")
+	fmt.Println("paper: monotonically increasing source reads, self-recycle writes, 32MB spacing")
+	res, err := experiments.Fig9()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("rdCAS: %d  wrCAS: %d  self-recycles: %d  address spread: %dMB\n",
+		res.Trace.Reads(), res.Trace.Writes(), res.SelfRecycles, res.SpreadBytes>>20)
+	for c := 0; c < 4; c++ {
+		fmt.Printf("core %d mean monotonic rdCAS run: %.1f cachelines\n", c, res.MeanRunLen[c])
+	}
+	fmt.Println("(use cmd/tracegen to dump the raw scatter for plotting)")
+	fmt.Println()
+}
+
+func fig10(sc experiments.Scale) {
+	fmt.Println("=== Fig. 10: scratchpad occupancy vs LLC provisioning ===")
+	fmt.Println("paper: equilibrium occupancy scales with LLC size (50MB LLC -> <2MB, 10MB -> <500KB)")
+	series, err := experiments.Fig10([]int{sc.LLCBytes / 8, sc.LLCBytes / 2, sc.LLCBytes}, sc)
+	if err != nil {
+		fail(err)
+	}
+	for _, s := range series {
+		fmt.Printf("LLC %6dKB: equilibrium occupancy %8.1fKB  force-recycles %d\n",
+			s.LLCBytes>>10, s.EquilibriumKB, s.ForceRecycles)
+		for _, p := range s.Series.Downsample(8) {
+			fmt.Printf("    t=%6.2fms  occupancy=%7.1fKB\n", float64(p.AtPs)/float64(sim.Ms), p.Value/1024)
+		}
+	}
+	fmt.Println()
+}
+
+func printPerf(pts []experiments.PerfPoint) {
+	fmt.Printf("%-12s %-8s %-10s %-10s %-10s %-12s %s\n",
+		"config", "msg", "RPS", "RPS-norm", "CPU-norm", "membw-norm", "abs RPS")
+	for _, p := range pts {
+		fmt.Printf("%-12s %-8d %-10.0f %-10.2f %-10.2f %-12.2f %.0f\n",
+			p.Placement, p.MsgSize, p.Metrics.RPS, p.RPSNorm, p.CPUNorm, p.MemNorm, p.Metrics.RPS)
+	}
+	fmt.Println()
+}
+
+func fig11(sc experiments.Scale) {
+	fmt.Println("=== Fig. 11: Nginx TLS offload across placements (normalized to CPU) ===")
+	fmt.Println("paper: SmartDIMM +21.0% RPS @4KB / +35.8% @16KB, -21.8% CPU, -49.1% membw;")
+	fmt.Println("       SmartNIC/QAT no gain at 4KB; SmartNIC gains at 16KB")
+	pts, err := experiments.RunPlacements(sc, server.HTTPSMode, []int{4096, 16384}, corpus.Text)
+	if err != nil {
+		fail(err)
+	}
+	printPerf(pts)
+}
+
+func fig12(sc experiments.Scale) {
+	fmt.Println("=== Fig. 12: Nginx compression offload across placements (normalized to CPU) ===")
+	fmt.Println("paper: SmartDIMM 5.09x RPS @4KB / 10.28x @16KB, -81.5% CPU, -88.9% membw; QAT <= 1x")
+	pts, err := experiments.RunPlacements(sc, server.CompressedHTTP, []int{4096, 16384}, corpus.HTML)
+	if err != nil {
+		fail(err)
+	}
+	printPerf(pts)
+}
+
+func fig13() {
+	fmt.Println("=== Fig. 13: ULP processing design space (0-3, higher is better) ===")
+	fmt.Printf("%-24s %-8s %-8s %-10s %-9s %-6s %s\n",
+		"placement", "lowLLC", "highLLC", "transport", "ULPdiv", "loss", "L4flex")
+	for _, r := range experiments.Fig13() {
+		fmt.Printf("%-24s %-8d %-8d %-10d %-9d %-6d %d\n",
+			r.Placement, r.LowLLCContention, r.HighLLCContention,
+			r.TransportCompat, r.ULPDiversity, r.LossResistance, r.TransportFlexibility)
+	}
+	fmt.Println()
+}
+
+func table1(sc experiments.Scale) {
+	fmt.Println("=== Table I: co-run slowdowns (Nginx+TLS with 10x mcf) ===")
+	fmt.Println("paper: Nginx 15.8/7.3/28.7/9.5%, mcf 15.5/8.7/37.9/10.3% (CPU/SmartNIC/QAT/SmartDIMM)")
+	rows, err := experiments.Table1(sc)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-12s %-16s %-16s %s\n", "config", "nginx slowdown", "mcf slowdown", "co-run RPS")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-16.1f %-16.1f %.0f\n",
+			r.Placement, r.NginxSlowdown*100, r.McfSlowdown*100, r.CoRunRPS)
+	}
+	fmt.Println()
+}
+
+func powerModel() {
+	fmt.Println("=== §VII-D: area and power ===")
+	m := power.PaperModel()
+	fmt.Printf("dynamic power at full DDR utilization: %.2fW (paper: 4.78W)\n", m.DynamicAtFullWatts())
+	fmt.Printf("added power at 30%% utilization:        %.2fW (paper: ~0.92W average)\n", m.AddedPowerAt(0.30))
+	fmt.Printf("TLS offload FPGA resources:            %.1f%% (paper: ~21.8%%)\n", m.TLSOffloadFPGAPercent())
+	fmt.Printf("%-36s %-12s %s\n", "block", "W @ full", "FPGA %")
+	for _, b := range m.Blocks {
+		fmt.Printf("%-36s %-12.2f %.1f\n", b.Name, b.DynamicWattsAtFull, b.FPGAPercent)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,124 @@
+// Command smartdimm-sim runs one configurable full-system serving
+// experiment and prints the measured metrics — the general-purpose CLI
+// around the simulator for exploring configurations beyond the paper's.
+//
+// Examples:
+//
+//	smartdimm-sim -placement smartdimm -ulp tls -msg 16384 -conns 512
+//	smartdimm-sim -placement cpu -ulp compression -msg 4096 -corpus html
+//	smartdimm-sim -placement adaptive -llc 4194304 -measure-ms 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/dram"
+	"repro/internal/offload"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func main() {
+	placement := flag.String("placement", "smartdimm", "cpu | smartnic | qat | smartdimm | adaptive")
+	ulpName := flag.String("ulp", "tls", "tls | compression | none (plain HTTP)")
+	msg := flag.Int("msg", 4096, "message (response body) size in bytes")
+	conns := flag.Int("conns", 256, "persistent connections")
+	workers := flag.Int("workers", 10, "server worker threads")
+	llc := flag.Int("llc", 2<<20, "LLC size in bytes")
+	ways := flag.Int("ways", 8, "LLC associativity")
+	kindName := flag.String("corpus", "text", "file corpus: zeros|html|text|json|random")
+	warmupMs := flag.Int("warmup-ms", 2, "warmup window")
+	measureMs := flag.Int("measure-ms", 20, "measurement window")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		fatal(err)
+	}
+
+	withDIMM := *placement == "smartdimm" || *placement == "adaptive"
+	sys, err := sim.NewSystem(sim.SystemConfig{
+		Params: sim.DefaultParams(), LLCBytes: *llc, LLCWays: *ways,
+		Geometry:      dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
+		WithSmartDIMM: withDIMM,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var backend offload.Backend
+	switch strings.ToLower(*placement) {
+	case "cpu":
+		backend = &offload.CPU{Sys: sys}
+	case "smartnic":
+		backend = &offload.SmartNIC{Sys: sys}
+	case "qat":
+		backend = &offload.QAT{Sys: sys}
+	case "smartdimm":
+		backend = &offload.SmartDIMM{Sys: sys}
+	case "adaptive":
+		backend = &offload.Adaptive{Sys: sys,
+			CPUBackend: &offload.CPU{Sys: sys}, DIMM: &offload.SmartDIMM{Sys: sys}}
+	default:
+		fatal(fmt.Errorf("unknown placement %q", *placement))
+	}
+
+	mode := server.HTTPSMode
+	switch strings.ToLower(*ulpName) {
+	case "tls":
+	case "compression":
+		mode = server.CompressedHTTP
+	case "none":
+		mode = server.PlainHTTP
+		backend = nil
+	default:
+		fatal(fmt.Errorf("unknown ulp %q", *ulpName))
+	}
+
+	m, err := server.RunClosedLoop(server.Config{
+		Sys: sys, Backend: backend, Mode: mode, Workers: *workers,
+		MsgSize: *msg, Connections: *conns, FileKind: kind, Seed: *seed,
+	}, int64(*warmupMs)*sim.Ms, int64(*measureMs)*sim.Ms)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("placement:   %s\n", *placement)
+	fmt.Printf("mode:        %s, %dB messages, %d connections, %d workers\n", mode, *msg, *conns, *workers)
+	fmt.Printf("requests:    %d in %.2fms\n", m.Requests, float64(m.ElapsedPs)/float64(sim.Ms))
+	fmt.Printf("RPS:         %.0f\n", m.RPS)
+	fmt.Printf("CPU util:    %.1f%%\n", m.CPUUtil*100)
+	fmt.Printf("memory BW:   %.3f GB/s (%d bytes)\n", m.MemBWGBps, m.MemBytes)
+	fmt.Printf("TX:          %d bytes (%.2fx body)\n", m.TXBytes, float64(m.TXBytes)/float64(m.Requests*uint64(*msg)))
+	fmt.Printf("mean latency: %.1f us\n", float64(m.MeanLatPs)/float64(sim.Us))
+	if withDIMM && sys.Dev != nil {
+		st := sys.Dev.Stats()
+		fmt.Printf("smartdimm:   %d registrations, %d DSA lines, %d self-recycles, %d S7, %d S10, %d ALERT_N\n",
+			st.Registrations, st.DSALinesFed, st.SelfRecycles, st.IgnoredWrites, st.ScratchpadReads, st.Alerts)
+		fmt.Printf("driver:      %d CompCpy, %d force-recycles\n",
+			sys.Driver.Stats().CompCpyCalls, sys.Driver.Stats().ForceRecycleCalls)
+		if ad, ok := backend.(*offload.Adaptive); ok {
+			fmt.Printf("adaptive:    %d offloaded, %d on CPU (last miss rate %.3f)\n",
+				ad.OffloadedN, ad.OnCPUN, ad.LastMissRate)
+		}
+	}
+}
+
+func parseKind(name string) (corpus.Kind, error) {
+	for _, k := range corpus.AllKinds() {
+		if k.String() == strings.ToLower(name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown corpus %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartdimm-sim:", err)
+	os.Exit(1)
+}

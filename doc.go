@@ -1,0 +1,12 @@
+// Package repro is a from-scratch reproduction of "SmartDIMM: In-Memory
+// Acceleration of Upper Layer Protocols" (HPCA 2024): a near-memory
+// processing architecture that places domain-specific accelerators on
+// the buffer device of a DDR4 DIMM and offloads upper-layer network
+// protocols — TLS (de/en)cryption and Deflate (de)compression — through
+// the CompCpy API, a memory copy that transforms data in flight.
+//
+// The repository root holds the benchmark harness (bench_test.go, one
+// benchmark per table and figure of the paper's evaluation); the
+// implementation lives under internal/ (see DESIGN.md for the system
+// inventory) and runnable examples under examples/.
+package repro

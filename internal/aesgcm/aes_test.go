@@ -1,0 +1,158 @@
+package aesgcm
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// FIPS-197 Appendix C known-answer vectors.
+func TestAESKnownAnswers(t *testing.T) {
+	cases := []struct{ key, pt, ct string }{
+		{"000102030405060708090a0b0c0d0e0f", "00112233445566778899aabbccddeeff", "69c4e0d86a7b0430d8cdb78070b4c55a"},
+		{"000102030405060708090a0b0c0d0e0f1011121314151617", "00112233445566778899aabbccddeeff", "dda97ca4864cdfe06eaf70a0ec0d7191"},
+		{"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f", "00112233445566778899aabbccddeeff", "8ea2b7ca516745bfeafc49904b496089"},
+	}
+	for _, c := range cases {
+		cipher, err := NewCipher(unhex(t, c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		cipher.Encrypt(got, unhex(t, c.pt))
+		if want := unhex(t, c.ct); !bytes.Equal(got, want) {
+			t.Errorf("key %s: enc = %x, want %x", c.key, got, want)
+		}
+		back := make([]byte, 16)
+		cipher.Decrypt(back, got)
+		if want := unhex(t, c.pt); !bytes.Equal(back, want) {
+			t.Errorf("key %s: dec = %x, want %x", c.key, back, want)
+		}
+	}
+}
+
+func TestAESInvalidKeySizes(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 31, 33} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("key size %d accepted", n)
+		}
+	}
+}
+
+func TestAESMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ks := range []int{16, 24, 32} {
+		key := make([]byte, ks)
+		rng.Read(key)
+		ours, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stdaes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			pt := make([]byte, 16)
+			rng.Read(pt)
+			a, b := make([]byte, 16), make([]byte, 16)
+			ours.Encrypt(a, pt)
+			ref.Encrypt(b, pt)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("key=%d enc mismatch: %x vs %x", ks, a, b)
+			}
+			ours.Decrypt(a, b)
+			if !bytes.Equal(a, pt) {
+				t.Fatalf("key=%d dec mismatch", ks)
+			}
+		}
+	}
+}
+
+func TestAESEncryptDecryptInverse(t *testing.T) {
+	f := func(key [16]byte, pt [16]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		var ct, back [16]byte
+		c.Encrypt(ct[:], pt[:])
+		c.Decrypt(back[:], ct[:])
+		return back == pt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAESInPlace(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	buf := []byte("0123456789abcdef")
+	orig := append([]byte(nil), buf...)
+	c.Encrypt(buf, buf)
+	if bytes.Equal(buf, orig) {
+		t.Fatal("in-place encrypt did nothing")
+	}
+	c.Decrypt(buf, buf)
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("in-place round trip failed")
+	}
+}
+
+func TestAESShortBlockPanics(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	for _, f := range []func(){
+		func() { c.Encrypt(make([]byte, 16), make([]byte, 15)) },
+		func() { c.Encrypt(make([]byte, 15), make([]byte, 16)) },
+		func() { c.Decrypt(make([]byte, 16), make([]byte, 15)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on short block")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSboxIsPermutationAndInverse(t *testing.T) {
+	seen := map[byte]bool{}
+	for i := 0; i < 256; i++ {
+		v := sbox[i]
+		if seen[v] {
+			t.Fatalf("sbox not a permutation: duplicate %#x", v)
+		}
+		seen[v] = true
+		if isbox[v] != byte(i) {
+			t.Fatalf("isbox[sbox[%d]] = %d", i, isbox[v])
+		}
+	}
+	// FIPS-197 spot values.
+	if sbox[0x00] != 0x63 || sbox[0x53] != 0xed || sbox[0xff] != 0x16 {
+		t.Fatalf("sbox spot check failed: %x %x %x", sbox[0x00], sbox[0x53], sbox[0xff])
+	}
+}
+
+func BenchmarkAESEncryptBlock(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	src := make([]byte, 16)
+	dst := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(dst, src)
+	}
+}

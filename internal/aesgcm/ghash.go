@@ -1,0 +1,219 @@
+package aesgcm
+
+import "encoding/binary"
+
+// FieldEl is an element of GF(2^128) in the GCM bit ordering (the first
+// byte of the block holds the polynomial's lowest-degree coefficients in
+// its most significant bit).
+type FieldEl struct {
+	Hi, Lo uint64 // Hi holds bytes 0..7 of the block, big-endian
+}
+
+// LoadEl reads a 16-byte block as a field element.
+func LoadEl(b []byte) FieldEl {
+	return FieldEl{
+		Hi: binary.BigEndian.Uint64(b[0:8]),
+		Lo: binary.BigEndian.Uint64(b[8:16]),
+	}
+}
+
+// Store writes the field element into a 16-byte block.
+func (e FieldEl) Store(b []byte) {
+	binary.BigEndian.PutUint64(b[0:8], e.Hi)
+	binary.BigEndian.PutUint64(b[8:16], e.Lo)
+}
+
+// Xor returns e ^ o (field addition).
+func (e FieldEl) Xor(o FieldEl) FieldEl {
+	return FieldEl{Hi: e.Hi ^ o.Hi, Lo: e.Lo ^ o.Lo}
+}
+
+// IsZero reports whether the element is the additive identity.
+func (e FieldEl) IsZero() bool { return e.Hi == 0 && e.Lo == 0 }
+
+// gcmR is the reduction constant for GF(2^128) with GCM's polynomial
+// x^128 + x^7 + x^2 + x + 1 in the shifted representation.
+const gcmR = 0xe100000000000000
+
+// Mul returns the GF(2^128) product e*o under the GCM conventions. The
+// bit-serial loop mirrors what a hardware GF multiplier does per cycle;
+// the simulator charges its cost separately, so clarity wins over speed
+// here (a 4-bit windowed variant is used by GHASH's hot path below).
+func (e FieldEl) Mul(o FieldEl) FieldEl {
+	var z FieldEl
+	v := o
+	for i := 0; i < 128; i++ {
+		var bit uint64
+		if i < 64 {
+			bit = (e.Hi >> (63 - uint(i))) & 1
+		} else {
+			bit = (e.Lo >> (127 - uint(i))) & 1
+		}
+		if bit == 1 {
+			z.Hi ^= v.Hi
+			z.Lo ^= v.Lo
+		}
+		lsb := v.Lo & 1
+		v.Lo = v.Lo>>1 | v.Hi<<63
+		v.Hi >>= 1
+		if lsb == 1 {
+			v.Hi ^= gcmR
+		}
+	}
+	return z
+}
+
+// mulTable is a 16-entry table of x*H for the 4-bit windowed multiply,
+// indexed by nibble value. Building it once per hash subkey amortizes the
+// bit-serial work across all blocks, the same trade hardware GHASH
+// pipelines make.
+type mulTable [16]FieldEl
+
+func newMulTable(h FieldEl) *mulTable {
+	var t mulTable
+	// t[i] = i(h) where the 4-bit index is interpreted in the GCM bit
+	// order: index bit 3 (MSB of the nibble) is the lowest-degree term.
+	t[8] = h // 0b1000: coefficient of x^0 within the nibble
+	for i := 4; i > 0; i >>= 1 {
+		t[i] = mulByX(t[i*2])
+	}
+	for i := 2; i < 16; i *= 2 {
+		for j := 1; j < i; j++ {
+			t[i+j] = t[i].Xor(t[j])
+		}
+	}
+	return &t
+}
+
+// mulByX multiplies by the field element x (a one-bit right shift in the
+// GCM representation, with reduction).
+func mulByX(v FieldEl) FieldEl {
+	lsb := v.Lo & 1
+	v.Lo = v.Lo>>1 | v.Hi<<63
+	v.Hi >>= 1
+	if lsb == 1 {
+		v.Hi ^= gcmR
+	}
+	return v
+}
+
+// mul multiplies y by the table's hash subkey using a 4-bit-windowed
+// Horner evaluation. In the GCM representation the LSB end of Lo holds
+// the highest-degree coefficients, so walking low nibbles first visits
+// terms in descending degree, exactly what Horner needs.
+func (t *mulTable) mul(y FieldEl) FieldEl {
+	var z FieldEl
+	process := func(word uint64) {
+		for i := 0; i < 16; i++ {
+			nib := word & 0xf
+			word >>= 4
+			// z = z * x^4, then add this nibble's contribution.
+			z = mulByX(mulByX(mulByX(mulByX(z))))
+			z = z.Xor(t[nib])
+		}
+	}
+	process(y.Lo)
+	process(y.Hi)
+	return z
+}
+
+// GHASH computes the GHASH function of SP 800-38D over the given blocks
+// with hash subkey h. Data is processed in 16-byte blocks; a short final
+// block is zero-padded (callers compose AAD/ciphertext/length blocks).
+type GHASH struct {
+	table *mulTable
+	y     FieldEl
+}
+
+// NewGHASH creates a GHASH instance keyed by the 16-byte hash subkey.
+func NewGHASH(h []byte) *GHASH {
+	return &GHASH{table: newMulTable(LoadEl(h))}
+}
+
+// Update absorbs data, zero-padding the final short block if any.
+func (g *GHASH) Update(data []byte) {
+	for len(data) >= BlockSize {
+		g.y = g.table.mul(g.y.Xor(LoadEl(data[:BlockSize])))
+		data = data[BlockSize:]
+	}
+	if len(data) > 0 {
+		var block [BlockSize]byte
+		copy(block[:], data)
+		g.y = g.table.mul(g.y.Xor(LoadEl(block[:])))
+	}
+}
+
+// UpdateLengths absorbs the standard GCM length block (bit lengths of AAD
+// and ciphertext).
+func (g *GHASH) UpdateLengths(aadBytes, ctBytes int) {
+	var block [BlockSize]byte
+	binary.BigEndian.PutUint64(block[0:8], uint64(aadBytes)*8)
+	binary.BigEndian.PutUint64(block[8:16], uint64(ctBytes)*8)
+	g.Update(block[:])
+}
+
+// Sum writes the current GHASH value into a 16-byte slice and returns it.
+func (g *GHASH) Sum(dst []byte) []byte {
+	if len(dst) < BlockSize {
+		panic("aesgcm: ghash sum buffer too short")
+	}
+	g.y.Store(dst[:BlockSize])
+	return dst[:BlockSize]
+}
+
+// Reset restores the initial state, keeping the subkey.
+func (g *GHASH) Reset() { g.y = FieldEl{} }
+
+// HPowers precomputes powers of the hash subkey H. The paper's TLS DSA
+// computes the i-th powers of H "in strides of 4" as soon as the source
+// buffer is registered, so the GHASH contributions of different 64-byte
+// cachelines (4 AES blocks each) have no dependency chain (§V-A). Powers
+// are 1-indexed: Power(i) == H^i.
+type HPowers struct {
+	h      FieldEl
+	powers []FieldEl // powers[i] = H^(i+1)
+}
+
+// Stride is the number of AES blocks per 64-byte cacheline; powers are
+// generated stride-first to model the hardware's four parallel chains.
+const Stride = 4
+
+// NewHPowers precomputes n powers of the subkey. The generation order
+// models the DSA: four independent multiplication chains, one per block
+// lane, each advancing by H^4 per step.
+func NewHPowers(h []byte, n int) *HPowers {
+	he := LoadEl(h)
+	hp := &HPowers{h: he, powers: make([]FieldEl, n)}
+	if n == 0 {
+		return hp
+	}
+	// Seed the first stride serially: H^1..H^4.
+	hp.powers[0] = he
+	for i := 1; i < Stride && i < n; i++ {
+		hp.powers[i] = hp.powers[i-1].Mul(he)
+	}
+	if n <= Stride {
+		return hp
+	}
+	h4 := hp.powers[Stride-1]
+	// Four independent lanes: lane L computes H^(L+1), H^(L+5), ...
+	for lane := 0; lane < Stride; lane++ {
+		for i := lane + Stride; i < n; i += Stride {
+			hp.powers[i] = hp.powers[i-Stride].Mul(h4)
+		}
+	}
+	return hp
+}
+
+// Power returns H^i (1-indexed). It panics if i is out of the
+// precomputed range, mirroring the fixed-size Config Memory region that
+// holds the powers in hardware.
+func (p *HPowers) Power(i int) FieldEl {
+	if i < 1 || i > len(p.powers) {
+		panic("aesgcm: H power out of precomputed range")
+	}
+	return p.powers[i-1]
+}
+
+// Count returns how many powers were precomputed.
+func (p *HPowers) Count() int { return len(p.powers) }

@@ -1,0 +1,365 @@
+// Package cache models a last-level cache with the two features the
+// paper's evaluation leans on:
+//
+//   - Direct Cache Access (Intel DDIO): DMA traffic from the NIC and
+//     storage allocates into a restricted subset of ways, and when the
+//     "usage distance" of DMA data is long the lines leak to DRAM before
+//     the CPU consumes them (§II, Observation 3);
+//   - Cache Allocation Technology (CAT): way masks shrink the LLC seen
+//     by an allocation class, which is how Fig. 10 provisions 10-50MB
+//     LLCs for the scratchpad-equilibrium experiment.
+//
+// The cache is functional: lines carry their 64 bytes of data, so dirty
+// writebacks deliver real content to the DIMM model — that is the
+// mechanism behind SmartDIMM's self-recycling (§IV-B), where an LLC
+// writeback of a destination-buffer cacheline triggers the wrCAS that
+// swaps in the DSA's result.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Class labels an allocation class for CAT masking and statistics.
+type Class int
+
+// Allocation classes used by the system model.
+const (
+	ClassCPU Class = iota // demand traffic from cores
+	ClassDMA              // device DMA via DDIO
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassCPU:
+		return "cpu"
+	case ClassDMA:
+		return "dma"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Victim describes a line evicted or flushed from the cache.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+	Data  [LineSize]byte
+}
+
+// Stats tracks per-class access outcomes plus writeback counts.
+type Stats struct {
+	Accesses   [numClasses]uint64
+	Misses     [numClasses]uint64
+	Writebacks uint64 // dirty evictions + dirty flushes
+	Fills      uint64
+}
+
+// MissRate returns the aggregate miss rate across classes, 0 when idle.
+func (s *Stats) MissRate() float64 {
+	var acc, miss uint64
+	for c := 0; c < int(numClasses); c++ {
+		acc += s.Accesses[c]
+		miss += s.Misses[c]
+	}
+	if acc == 0 {
+		return 0
+	}
+	return float64(miss) / float64(acc)
+}
+
+type line struct {
+	tag     uint64
+	data    [LineSize]byte
+	valid   bool
+	dirty   bool
+	lastUse uint64
+	class   Class
+}
+
+// Config sizes the cache.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	// WayMask[class] restricts which ways the class may allocate into;
+	// zero means "all ways". Lookups always search every way.
+	WayMask [numClasses]uint64
+}
+
+// DefaultXeonLLC returns the testbed-like LLC: the Xeon Gold 6242 has a
+// 22MB L3; we model 22MB, 11 ways (2MB per way, matching CAT's way
+// granularity on that part), with DDIO limited to 2 ways.
+func DefaultXeonLLC() Config {
+	return Config{
+		SizeBytes: 22 << 20,
+		Ways:      11,
+		WayMask:   [numClasses]uint64{ClassDMA: 0b11},
+	}
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement and per-class way masking.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	tick    uint64
+	stats   Stats
+	// window counters for miss-rate sampling (adaptive offload probe)
+	winAcc, winMiss uint64
+}
+
+// New builds a cache; SizeBytes must be a multiple of Ways*LineSize and
+// the resulting set count a power of two.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Ways <= 0 || cfg.Ways > 64 {
+		return nil, fmt.Errorf("cache: ways = %d out of range", cfg.Ways)
+	}
+	if cfg.SizeBytes <= 0 || cfg.SizeBytes%(cfg.Ways*LineSize) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by ways*linesize", cfg.SizeBytes)
+	}
+	nSets := cfg.SizeBytes / (cfg.Ways * LineSize)
+	if nSets&(nSets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets is not a power of two", nSets)
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, nSets), setMask: uint64(nSets - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error, for tests and fixed configs.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetWayMask applies a CAT mask for a class; 0 restores all ways.
+func (c *Cache) SetWayMask(class Class, mask uint64) { c.cfg.WayMask[class] = mask }
+
+// Stats returns a copy of the statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SizeBytes returns the configured capacity.
+func (c *Cache) SizeBytes() int { return c.cfg.SizeBytes }
+
+func (c *Cache) setIndex(addr uint64) uint64 { return (addr / LineSize) & c.setMask }
+func (c *Cache) tagOf(addr uint64) uint64    { return addr / LineSize }
+
+// lookup returns the way holding addr, or -1.
+func (c *Cache) lookup(addr uint64) int {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the line is cached, without touching LRU or
+// statistics (a probe, not an access).
+func (c *Cache) Contains(addr uint64) bool { return c.lookup(addr) != -1 }
+
+// IsDirty reports whether the line is cached and dirty, without touching
+// LRU or statistics.
+func (c *Cache) IsDirty(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	w := c.lookup(addr)
+	return w != -1 && set[w].dirty
+}
+
+// Read performs a demand read of the line containing addr. On a hit the
+// line data is copied into dst (which must hold 64 bytes) and ok=true.
+// On a miss ok=false and the caller must obtain the line from memory and
+// call Fill.
+func (c *Cache) Read(addr uint64, class Class, dst []byte) (ok bool) {
+	c.tick++
+	c.stats.Accesses[class]++
+	c.winAcc++
+	w := c.lookup(addr)
+	if w == -1 {
+		c.stats.Misses[class]++
+		c.winMiss++
+		return false
+	}
+	set := c.sets[c.setIndex(addr)]
+	set[w].lastUse = c.tick
+	copy(dst, set[w].data[:])
+	return true
+}
+
+// Write performs a demand write of a full line. On a hit the line is
+// updated and marked dirty. On a miss ok=false; with write-allocate the
+// caller Fills the line (fetching old content if the write is partial)
+// and retries, or uses FillDirty directly for a full-line write.
+func (c *Cache) Write(addr uint64, class Class, src []byte) (ok bool) {
+	c.tick++
+	c.stats.Accesses[class]++
+	c.winAcc++
+	w := c.lookup(addr)
+	if w == -1 {
+		c.stats.Misses[class]++
+		c.winMiss++
+		return false
+	}
+	set := c.sets[c.setIndex(addr)]
+	set[w].lastUse = c.tick
+	set[w].dirty = true
+	copy(set[w].data[:], src)
+	return true
+}
+
+// Fill installs a clean line fetched from memory, evicting per class
+// mask + LRU if needed. The returned victim (if any) must be written
+// back by the caller when dirty.
+func (c *Cache) Fill(addr uint64, class Class, data []byte) *Victim {
+	return c.fill(addr, class, data, false)
+}
+
+// FillDirty installs a line that is immediately dirty: a full-line CPU
+// store miss (no fetch needed) or a DDIO DMA write from a device.
+func (c *Cache) FillDirty(addr uint64, class Class, data []byte) *Victim {
+	return c.fill(addr, class, data, true)
+}
+
+func (c *Cache) fill(addr uint64, class Class, data []byte, dirty bool) *Victim {
+	c.tick++
+	c.stats.Fills++
+	si := c.setIndex(addr)
+	set := c.sets[si]
+	tag := c.tagOf(addr)
+
+	// If present already (races between fill paths), update in place.
+	if w := c.lookup(addr); w != -1 {
+		copy(set[w].data[:], data)
+		set[w].dirty = set[w].dirty || dirty
+		set[w].lastUse = c.tick
+		set[w].class = class
+		return nil
+	}
+
+	mask := c.cfg.WayMask[class]
+	if mask == 0 {
+		mask = ^uint64(0)
+	}
+	// Prefer an invalid allowed way.
+	victimWay := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		if !set[w].valid {
+			victimWay = w
+			oldest = 0
+			break
+		}
+		if set[w].lastUse < oldest {
+			victimWay = w
+			oldest = set[w].lastUse
+		}
+	}
+	if victimWay == -1 {
+		// Mask excluded every way (misconfigured CAT): fall back to way 0
+		// behaviourally rather than dropping the line.
+		victimWay = 0
+	}
+	var victim *Victim
+	if set[victimWay].valid {
+		v := &Victim{Addr: set[victimWay].tag * LineSize, Dirty: set[victimWay].dirty}
+		v.Data = set[victimWay].data
+		victim = v
+		if v.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[victimWay] = line{tag: tag, valid: true, dirty: dirty, lastUse: c.tick, class: class}
+	copy(set[victimWay].data[:], data)
+	return victim
+}
+
+// FlushLine removes the line containing addr (clflush semantics),
+// returning it for writeback if it was present. Clean lines are simply
+// invalidated.
+func (c *Cache) FlushLine(addr uint64) *Victim {
+	w := c.lookup(addr)
+	if w == -1 {
+		return nil
+	}
+	set := c.sets[c.setIndex(addr)]
+	v := &Victim{Addr: set[w].tag * LineSize, Dirty: set[w].dirty}
+	v.Data = set[w].data
+	set[w].valid = false
+	if v.Dirty {
+		c.stats.Writebacks++
+	}
+	return v
+}
+
+// FlushRange flushes every line in [addr, addr+size), invoking wb for
+// each dirty victim in address order. It returns how many lines were
+// present (dirty or clean) — the §IV-A flush-cost claim depends on how
+// much of the range was actually cached.
+func (c *Cache) FlushRange(addr uint64, size int, wb func(Victim)) int {
+	present := 0
+	start := addr &^ (LineSize - 1)
+	for a := start; a < addr+uint64(size); a += LineSize {
+		if v := c.FlushLine(a); v != nil {
+			present++
+			if v.Dirty && wb != nil {
+				wb(*v)
+			}
+		}
+	}
+	return present
+}
+
+// OccupancyOf counts how many valid lines fall within [addr, addr+size).
+func (c *Cache) OccupancyOf(addr uint64, size int) int {
+	n := 0
+	start := addr &^ (LineSize - 1)
+	for a := start; a < addr+uint64(size); a += LineSize {
+		if c.Contains(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// SampleMissRate returns the miss rate since the previous sample and
+// resets the window — the probe the adaptive offload policy calls
+// periodically (§IV goals, §V-C).
+func (c *Cache) SampleMissRate() float64 {
+	if c.winAcc == 0 {
+		return 0
+	}
+	r := float64(c.winMiss) / float64(c.winAcc)
+	c.winAcc, c.winMiss = 0, 0
+	return r
+}
+
+// EffectiveWays returns the number of ways usable by the class under its
+// current mask.
+func (c *Cache) EffectiveWays(class Class) int {
+	mask := c.cfg.WayMask[class]
+	if mask == 0 {
+		return c.cfg.Ways
+	}
+	n := bits.OnesCount64(mask & ((1 << uint(c.cfg.Ways)) - 1))
+	if n == 0 {
+		return 1
+	}
+	return n
+}

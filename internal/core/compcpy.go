@@ -1,0 +1,362 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dram"
+)
+
+// Errors returned by the CompCpy path.
+var (
+	// ErrNoScratchpad means the Scratchpad (or Config Memory) could not
+	// supply enough pages even after Force-Recycle.
+	ErrNoScratchpad = errors.New("core: scratchpad exhausted")
+	// ErrNotAligned mirrors Algorithm 2's page-alignment check.
+	ErrNotAligned = errors.New("core: buffers must be 4KB page aligned")
+)
+
+// Host is the memory-system interface CompCpy drives: cached loads and
+// stores, cache-line flushes, memory barriers, and uncached MMIO
+// accesses to the SmartDIMM config space. internal/memsys implements it.
+type Host interface {
+	Read64(core int, addr uint64, dst []byte) (int64, error)
+	Write64(core int, addr uint64, src []byte) (int64, error)
+	Flush(addr uint64, size int) (int64, error)
+	Membar() error
+	MMIOWrite(addr uint64, src []byte) (int64, error)
+	MMIORead(addr uint64, dst []byte) (int64, error)
+}
+
+// DriverStats counts software-side events.
+type DriverStats struct {
+	CompCpyCalls      uint64
+	ForceRecycleCalls uint64
+	StatusReads       uint64 // lazy freePages refreshes (Algorithm 2 line 9)
+	BytesOffloaded    uint64
+	PagesAllocated    uint64
+	PagesFreed        uint64
+}
+
+// Driver is the SmartDIMM kernel-driver model (§V-C): it owns the
+// device's physical range, allocates offload buffers to applications,
+// and implements CompCpy (Algorithm 2) and Force-Recycle (Algorithm 1).
+type Driver struct {
+	host Host
+	// Base is the global physical address where the SmartDIMM range
+	// starts; MMIOBase is the global address of the config space.
+	Base     uint64
+	MMIOBase uint64
+
+	mu        sync.Mutex
+	freePages int64 // lazily refreshed Scratchpad page estimate
+	nextPage  uint64
+	limitPage uint64
+	freeLists map[int][]uint64 // free buffer lists keyed by page count
+	stats     DriverStats
+}
+
+// NewDriver binds a driver to the host memory system. base is the global
+// address of the SmartDIMM module's range, devCapacity its size in
+// bytes, and mmioPages the pages reserved at the top for config space.
+func NewDriver(host Host, base uint64, devCapacity uint64, mmioPages int) *Driver {
+	return &Driver{
+		host:      host,
+		Base:      base,
+		MMIOBase:  base + devCapacity - uint64(mmioPages)*PageSize,
+		freePages: -1, // unknown until first refresh, as in Algorithm 2
+		nextPage:  base / PageSize,
+		limitPage: (base + devCapacity - uint64(mmioPages)*PageSize) / PageSize,
+		freeLists: make(map[int][]uint64),
+	}
+}
+
+// Stats returns a copy of the driver statistics.
+func (d *Driver) Stats() DriverStats { return d.stats }
+
+// SetAllocRange narrows the page allocator to [start, end) so the
+// driver can share the device's address range with other users (e.g.
+// the OS using SmartDIMM capacity as regular memory, Benefit B2).
+func (d *Driver) SetAllocRange(start, end uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextPage = start / PageSize
+	d.limitPage = end / PageSize
+	d.freeLists = make(map[int][]uint64)
+}
+
+// AllocPages reserves n contiguous 4KB pages on SmartDIMM, returning the
+// global physical address.
+func (d *Driver) AllocPages(n int) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("core: alloc of %d pages", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if list := d.freeLists[n]; len(list) > 0 {
+		addr := list[len(list)-1]
+		d.freeLists[n] = list[:len(list)-1]
+		d.stats.PagesAllocated += uint64(n)
+		return addr, nil
+	}
+	if d.nextPage+uint64(n) > d.limitPage {
+		return 0, fmt.Errorf("core: SmartDIMM address range exhausted")
+	}
+	addr := d.nextPage * PageSize
+	d.nextPage += uint64(n)
+	d.stats.PagesAllocated += uint64(n)
+	return addr, nil
+}
+
+// FreePages returns a buffer of n pages to the allocator.
+func (d *Driver) FreePages(addr uint64, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.freeLists[n] = append(d.freeLists[n], addr)
+	d.stats.PagesFreed += uint64(n)
+}
+
+// readStatus refreshes freePages from the device's MMIO status word.
+func (d *Driver) readStatus() (free int64, pendingCount int64, err error) {
+	var buf [dram.CachelineSize]byte
+	if _, err := d.host.MMIORead(d.MMIOBase, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	d.stats.StatusReads++
+	return int64(binary.LittleEndian.Uint64(buf[0:])),
+		int64(binary.LittleEndian.Uint64(buf[8:])), nil
+}
+
+// forceRecycle implements Algorithm 1: read the pending-page list from
+// the MMIO config space and flush those pages so their LLC-resident
+// cachelines write back and recycle Scratchpad lines.
+func (d *Driver) forceRecycle(requiredToBeFree int) error {
+	d.stats.ForceRecycleCalls++
+	_, pending, err := d.readStatus()
+	if err != nil {
+		return err
+	}
+	freed := 0
+	var buf [dram.CachelineSize]byte
+	for chunk := 0; int64(chunk*8) < pending; chunk++ {
+		if _, err := d.host.MMIORead(d.MMIOBase+uint64(chunk+1)*dram.CachelineSize, buf[:]); err != nil {
+			return err
+		}
+		for i := 0; i < 8 && int64(chunk*8+i) < pending; i++ {
+			page := binary.LittleEndian.Uint64(buf[i*8:])
+			if page == 0 {
+				continue
+			}
+			if _, err := d.host.Flush(page*PageSize, PageSize); err != nil {
+				return err
+			}
+			freed++
+			if freed > requiredToBeFree {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// CompCpy is Algorithm 2: transform size bytes from sbuf into dbuf using
+// the DSA selected by ctx while copying. Both buffers must be 4KB
+// aligned global addresses inside the SmartDIMM range. ordered forces a
+// memory barrier between 64-byte copies (required by the sequential
+// (de)compression DSAs). It returns the modelled elapsed time in
+// picoseconds.
+func (d *Driver) CompCpy(core int, dbuf, sbuf uint64, size int, ctx *OffloadContext, ordered bool) (int64, error) {
+	if dbuf%PageSize != 0 || sbuf%PageSize != 0 {
+		return 0, ErrNotAligned
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("core: CompCpy size %d", size)
+	}
+	nPages := (size + PageSize - 1) / PageSize
+	var elapsed int64
+
+	// Lines 7-17: reserve Scratchpad pages under the lock, refreshing
+	// the lazy freePages counter and force-recycling only when low.
+	d.mu.Lock()
+	if d.freePages <= int64(nPages) {
+		free, _, err := d.readStatus()
+		if err != nil {
+			d.mu.Unlock()
+			return 0, err
+		}
+		d.freePages = free
+		if d.freePages <= int64(nPages) { // unlikely (§VII-A)
+			if err := d.forceRecycle(nPages); err != nil {
+				d.mu.Unlock()
+				return 0, err
+			}
+			free, _, err = d.readStatus()
+			if err != nil {
+				d.mu.Unlock()
+				return 0, err
+			}
+			d.freePages = free
+			if d.freePages <= int64(nPages) {
+				d.mu.Unlock()
+				return 0, ErrNoScratchpad
+			}
+		}
+	}
+	d.freePages -= int64(nPages)
+	d.stats.CompCpyCalls++
+	d.stats.BytesOffloaded += uint64(size)
+	d.mu.Unlock()
+
+	// Line 19: flush sbuf to DRAM so the DIMM observes the source bytes.
+	lat, err := d.host.Flush(sbuf, size)
+	if err != nil {
+		return 0, err
+	}
+	elapsed += lat
+
+	// Lines 21-23: register source and destination ranges plus context.
+	lat, err = d.register(sbuf, dbuf, size, nPages, ctx)
+	if err != nil {
+		return 0, err
+	}
+	elapsed += lat
+
+	// Lines 24-31: the copy itself, optionally ordered. The unordered
+	// copy overlaps outstanding misses (memMLP); the ordered variant
+	// serializes on the fence between 64-byte segments.
+	var line [dram.CachelineSize]byte
+	var copyLat int64
+	for off := 0; off < size; off += dram.CachelineSize {
+		rl, err := d.host.Read64(core, sbuf+uint64(off), line[:])
+		if err != nil {
+			return 0, err
+		}
+		wl, err := d.host.Write64(core, dbuf+uint64(off), line[:])
+		if err != nil {
+			return 0, err
+		}
+		copyLat += rl + wl
+		if ordered {
+			if err := d.host.Membar(); err != nil {
+				return 0, err
+			}
+			copyLat += membarPs * memMLP // fence cost is not overlapped
+		}
+	}
+	elapsed += copyLat / memMLP
+	return elapsed, nil
+}
+
+// membarPs is the modelled cost of the store fence inserted between
+// ordered 64-byte copies (Algorithm 2, line 27).
+const membarPs = 25_000
+
+// memMLP mirrors sim.MemMLP: bulk copies overlap outstanding misses.
+const memMLP = 4
+
+// register transmits the per-page registration headers and the record
+// context through the MMIO window (S17).
+func (d *Driver) register(sbuf, dbuf uint64, size, nPages int, ctx *OffloadContext) (int64, error) {
+	raw, err := marshalContext(ctx)
+	if err != nil {
+		return 0, err
+	}
+	recordLen := ctx.Length
+	switch ctx.Op {
+	case OpTLSEncrypt, OpTLSDecrypt:
+		recordLen = ctx.Length + TagSize
+	}
+	if recordLen > size {
+		return 0, fmt.Errorf("core: record length %d exceeds CompCpy size %d", recordLen, size)
+	}
+	var elapsed int64
+	var hdr [dram.CachelineSize]byte
+	for p := 0; p < nPages; p++ {
+		for i := range hdr {
+			hdr[i] = 0
+		}
+		binary.LittleEndian.PutUint16(hdr[0:], regMagic)
+		hdr[2] = byte(ctx.Op)
+		ctxLen := 0
+		if p == 0 {
+			ctxLen = len(raw)
+		}
+		binary.LittleEndian.PutUint16(hdr[4:], uint16(ctxLen))
+		binary.LittleEndian.PutUint16(hdr[6:], uint16(p))
+		binary.LittleEndian.PutUint64(hdr[8:], d.localPage(sbuf)+uint64(p))
+		binary.LittleEndian.PutUint64(hdr[16:], d.localPage(dbuf)+uint64(p))
+		binary.LittleEndian.PutUint32(hdr[24:], uint32(recordLen))
+		binary.LittleEndian.PutUint64(hdr[28:], d.localPage(sbuf))
+		lat, err := d.host.MMIOWrite(d.MMIOBase, hdr[:])
+		if err != nil {
+			return 0, err
+		}
+		elapsed += lat
+		if p == 0 {
+			for off := 0; off < len(raw); off += dram.CachelineSize {
+				var chunk [dram.CachelineSize]byte
+				copy(chunk[:], raw[off:])
+				k := off / dram.CachelineSize
+				lat, err := d.host.MMIOWrite(d.MMIOBase+uint64(k+1)*dram.CachelineSize, chunk[:])
+				if err != nil {
+					return 0, err
+				}
+				elapsed += lat
+			}
+		}
+	}
+	return elapsed, nil
+}
+
+// localPage converts a global physical address to the device-local page
+// number carried in registration headers.
+func (d *Driver) localPage(global uint64) uint64 {
+	return (global - d.Base) / PageSize
+}
+
+// Use implements the USE step of Algorithm 2 (lines 32-34): flush the
+// destination buffer so stale cached copies write back (recycling the
+// Scratchpad) and then read the transformed bytes.
+func (d *Driver) Use(core int, dbuf uint64, size int) ([]byte, int64, error) {
+	lat, err := d.host.Flush(dbuf, size)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]byte, 0, size)
+	var line [dram.CachelineSize]byte
+	var rdLat int64
+	for off := 0; off < size; off += dram.CachelineSize {
+		rl, err := d.host.Read64(core, dbuf+uint64(off), line[:])
+		if err != nil {
+			return nil, 0, err
+		}
+		rdLat += rl
+		n := size - off
+		if n > dram.CachelineSize {
+			n = dram.CachelineSize
+		}
+		out = append(out, line[:n]...)
+	}
+	return out, lat + rdLat/memMLP, nil
+}
+
+// WriteBuffer copies data into a SmartDIMM buffer through the cache (the
+// application filling sbuf before CompCpy).
+func (d *Driver) WriteBuffer(core int, addr uint64, data []byte) (int64, error) {
+	var elapsed int64
+	var line [dram.CachelineSize]byte
+	for off := 0; off < len(data); off += dram.CachelineSize {
+		n := copy(line[:], data[off:])
+		for i := n; i < dram.CachelineSize; i++ {
+			line[i] = 0
+		}
+		lat, err := d.host.Write64(core, addr+uint64(off), line[:])
+		if err != nil {
+			return 0, err
+		}
+		elapsed += lat
+	}
+	return elapsed / memMLP, nil
+}

@@ -1,0 +1,575 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aesgcm"
+	"repro/internal/cache"
+	"repro/internal/corpus"
+	"repro/internal/deflate"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/memsys"
+)
+
+// rig is a complete single-channel SmartDIMM system for tests.
+type rig struct {
+	dev    *Device
+	hier   *memsys.Hierarchy
+	driver *Driver
+}
+
+// newRig builds a system with the given LLC size (small LLCs create the
+// contention that exercises self-recycling).
+func newRig(t testing.TB, llcBytes int, llcWays int) *rig {
+	t.Helper()
+	dev, err := NewDevice(PaperDeviceConfig(dram.SmallGeometry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := cache.MustNew(cache.Config{SizeBytes: llcBytes, Ways: llcWays,
+		WayMask: [2]uint64{cache.ClassDMA: 0b11}})
+	ctl := memctrl.New(memctrl.DefaultConfig(), dev)
+	hier, err := memsys.New(llc, memsys.Channel{Ctl: ctl, Mod: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewDriver(hier, 0, dram.SmallGeometry().CapacityBytes(), 1)
+	return &rig{dev: dev, hier: hier, driver: drv}
+}
+
+// tlsOffloadContext builds the context the OpenSSL engine would supply.
+func tlsOffloadContext(t testing.TB, dir aesgcm.Direction, key, iv, aad []byte, payloadLen int) *OffloadContext {
+	t.Helper()
+	g, err := aesgcm.NewGCM(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eiv, err := g.EIV(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &OffloadContext{
+		Op: map[aesgcm.Direction]Opcode{aesgcm.Encrypt: OpTLSEncrypt, aesgcm.Decrypt: OpTLSDecrypt}[dir],
+		TLS: &TLSContext{
+			Direction: dir, Key: key, IV: iv, H: g.H(), EIV: eiv, AAD: aad,
+			PayloadLen: payloadLen,
+		},
+		Length: payloadLen,
+	}
+}
+
+// runTLSEncrypt performs a full TLS encryption offload and returns the
+// record (ciphertext || tag).
+func runTLSEncrypt(t testing.TB, r *rig, key, iv, aad, plaintext []byte) []byte {
+	t.Helper()
+	recordLen := len(plaintext) + TagSize
+	nPages := (recordLen + PageSize - 1) / PageSize
+	sbuf, err := r.driver.AllocPages(nPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbuf, err := r.driver.AllocPages(nPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, nPages*PageSize)
+	copy(src, plaintext)
+	if _, err := r.driver.WriteBuffer(0, sbuf, src); err != nil {
+		t.Fatal(err)
+	}
+	ctx := tlsOffloadContext(t, aesgcm.Encrypt, key, iv, aad, len(plaintext))
+	if _, err := r.driver.CompCpy(0, dbuf, sbuf, recordLen, ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := r.driver.Use(0, dbuf, recordLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.driver.FreePages(sbuf, nPages)
+	r.driver.FreePages(dbuf, nPages)
+	return out
+}
+
+func TestTLSEncryptOffloadMatchesReference(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	iv := []byte("abcdefghijkl")
+	aad := []byte{0x17, 0x03, 0x03, 0x10, 0x00}
+	for _, size := range []int{100, 4096 - TagSize, 4096, 5000, 16384 - TagSize} {
+		r := newRig(t, 256*1024, 8)
+		pt := corpus.Generate(corpus.Text, size, int64(size))
+		got := runTLSEncrypt(t, r, key, iv, aad, pt)
+
+		g, _ := aesgcm.NewGCM(key)
+		want, _ := g.Seal(nil, iv, pt, aad)
+		if !bytes.Equal(got[:size], want[:size]) {
+			t.Fatalf("size %d: ciphertext mismatch", size)
+		}
+		if !bytes.Equal(got[size:size+TagSize], want[size:]) {
+			t.Fatalf("size %d: tag mismatch: %x vs %x", size, got[size:size+TagSize], want[size:])
+		}
+		st := r.dev.Stats()
+		if st.SourceReads == 0 || st.DSALinesFed == 0 {
+			t.Fatalf("size %d: DSA never fed: %+v", size, st)
+		}
+		if st.SelfRecycles == 0 {
+			t.Fatalf("size %d: no self-recycles happened", size)
+		}
+		if st.DSAErrors != 0 || st.AuthFailures != 0 {
+			t.Fatalf("size %d: device errors: %+v", size, st)
+		}
+	}
+}
+
+func TestTLSDecryptOffloadRoundTrip(t *testing.T) {
+	key := []byte("0123456789abcdefghijklmnopqrstuv")
+	iv := []byte("abcdefghijkl")
+	aad := []byte("hdr")
+	size := 6000
+	pt := corpus.Generate(corpus.HTML, size, 1)
+	g, _ := aesgcm.NewGCM(key)
+	sealed, _ := g.Seal(nil, iv, pt, aad) // ciphertext || tag
+
+	r := newRig(t, 256*1024, 8)
+	recordLen := len(sealed)
+	nPages := (recordLen + PageSize - 1) / PageSize
+	sbuf, _ := r.driver.AllocPages(nPages)
+	dbuf, _ := r.driver.AllocPages(nPages)
+	src := make([]byte, nPages*PageSize)
+	copy(src, sealed)
+	r.driver.WriteBuffer(0, sbuf, src)
+
+	ctx := tlsOffloadContext(t, aesgcm.Decrypt, key, iv, aad, size)
+	if _, err := r.driver.CompCpy(0, dbuf, sbuf, recordLen, ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := r.driver.Use(0, dbuf, recordLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:size], pt) {
+		t.Fatal("decrypted payload mismatch")
+	}
+	if out[size] != 1 {
+		t.Fatal("tag verification marker not set")
+	}
+	if r.dev.Stats().AuthFailures != 0 {
+		t.Fatal("unexpected auth failure")
+	}
+}
+
+func TestTLSDecryptDetectsTampering(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	iv := []byte("abcdefghijkl")
+	size := 1024
+	pt := make([]byte, size)
+	g, _ := aesgcm.NewGCM(key)
+	sealed, _ := g.Seal(nil, iv, pt, nil)
+	sealed[10] ^= 0xFF // corrupt ciphertext
+
+	r := newRig(t, 256*1024, 8)
+	nPages := 1
+	sbuf, _ := r.driver.AllocPages(nPages)
+	dbuf, _ := r.driver.AllocPages(nPages)
+	src := make([]byte, PageSize)
+	copy(src, sealed)
+	r.driver.WriteBuffer(0, sbuf, src)
+	ctx := tlsOffloadContext(t, aesgcm.Decrypt, key, iv, nil, size)
+	if _, err := r.driver.CompCpy(0, dbuf, sbuf, len(sealed), ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	out, _, _ := r.driver.Use(0, dbuf, len(sealed))
+	if out[size] != 0 {
+		t.Fatal("tampered record passed verification")
+	}
+	if r.dev.Stats().AuthFailures != 1 {
+		t.Fatalf("auth failures = %d, want 1", r.dev.Stats().AuthFailures)
+	}
+}
+
+func TestCompressionOffloadRoundTrip(t *testing.T) {
+	for _, kind := range []corpus.Kind{corpus.HTML, corpus.Text, corpus.Random, corpus.Zeros} {
+		r := newRig(t, 256*1024, 8)
+		data := corpus.Generate(kind, MaxCompressInput, 3)
+		sbuf, _ := r.driver.AllocPages(1)
+		dbuf, _ := r.driver.AllocPages(1)
+		r.driver.WriteBuffer(0, sbuf, data)
+
+		ctx := &OffloadContext{Op: OpCompress, Length: MaxCompressInput}
+		if _, err := r.driver.CompCpy(0, dbuf, sbuf, PageSize, ctx, true); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		page, _, err := r.driver.Use(0, dbuf, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := DecodeCompressedPage(page)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", kind, err)
+		}
+		if !bytes.Equal(orig, data) {
+			t.Fatalf("%v: round trip mismatch", kind)
+		}
+		// Compressible kinds must actually shrink.
+		n, _ := CompressedPayloadLen(page)
+		if kind == corpus.HTML && n >= MaxCompressInput/2 {
+			t.Fatalf("html compressed to %d bytes only", n)
+		}
+		if r.dev.Stats().DSAErrors != 0 {
+			t.Fatalf("%v: DSA errors", kind)
+		}
+	}
+}
+
+func TestDecompressionOffloadRoundTrip(t *testing.T) {
+	r := newRig(t, 256*1024, 8)
+	data := corpus.Generate(corpus.JSON, MaxCompressInput, 5)
+	compressed := EncodeCompressedPage(data, deflate.NewHWEncoder(deflate.PaperHWConfig()))
+
+	sbuf, _ := r.driver.AllocPages(1)
+	dbuf, _ := r.driver.AllocPages(1)
+	r.driver.WriteBuffer(0, sbuf, compressed)
+	ctx := &OffloadContext{Op: OpDecompress, Length: PageSize}
+	if _, err := r.driver.CompCpy(0, dbuf, sbuf, PageSize, ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := r.driver.Use(0, dbuf, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:len(data)], data) {
+		t.Fatal("decompression mismatch")
+	}
+}
+
+func TestSelfRecycleUnderContention(t *testing.T) {
+	// With a tiny LLC, dbuf writebacks happen during the copy itself and
+	// recycle scratchpad lines without any Force-Recycle (§VII-A).
+	r := newRig(t, 64*1024, 8)
+	key := []byte("0123456789abcdef")
+	iv := []byte("abcdefghijkl")
+	for i := 0; i < 8; i++ {
+		pt := corpus.Generate(corpus.Text, 4096-TagSize, int64(i))
+		runTLSEncrypt(t, r, key, iv, nil, pt)
+	}
+	st := r.dev.Stats()
+	if st.SelfRecycles == 0 || st.PagesRecycled == 0 {
+		t.Fatalf("no recycling: %+v", st)
+	}
+	if r.driver.Stats().ForceRecycleCalls != 0 {
+		t.Fatalf("force-recycle called %d times under contention", r.driver.Stats().ForceRecycleCalls)
+	}
+	// All pages must be back after Use() flushes.
+	if r.dev.ScratchpadFreePages() != PaperDeviceConfig(dram.SmallGeometry()).ScratchpadPages {
+		t.Fatalf("scratchpad leaked: %d free", r.dev.ScratchpadFreePages())
+	}
+}
+
+func TestForceRecycleWhenScratchpadTiny(t *testing.T) {
+	// A 4-page scratchpad with a large LLC (no natural writebacks)
+	// forces Algorithm 1 to run.
+	cfg := PaperDeviceConfig(dram.SmallGeometry())
+	cfg.ScratchpadPages = 4
+	cfg.ConfigPages = 4
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := cache.MustNew(cache.Config{SizeBytes: 4 << 20, Ways: 8})
+	ctl := memctrl.New(memctrl.DefaultConfig(), dev)
+	hier, _ := memsys.New(llc, memsys.Channel{Ctl: ctl, Mod: dev})
+	drv := NewDriver(hier, 0, dram.SmallGeometry().CapacityBytes(), 1)
+	r := &rig{dev: dev, hier: hier, driver: drv}
+
+	key := []byte("0123456789abcdef")
+	iv := []byte("abcdefghijkl")
+	// Launch more offloads than the scratchpad holds WITHOUT consuming
+	// the destinations: the big LLC produces no natural writebacks, so
+	// CompCpy must invoke Force-Recycle to find pages.
+	type pending struct {
+		sbuf, dbuf uint64
+		pt         []byte
+	}
+	var offs []pending
+	for i := 0; i < 8; i++ {
+		pt := corpus.Generate(corpus.Text, 2048, int64(i))
+		sbuf, _ := drv.AllocPages(1)
+		dbuf, _ := drv.AllocPages(1)
+		src := make([]byte, PageSize)
+		copy(src, pt)
+		drv.WriteBuffer(0, sbuf, src)
+		ctx := tlsOffloadContext(t, aesgcm.Encrypt, key, iv, nil, len(pt))
+		if _, err := drv.CompCpy(0, dbuf, sbuf, len(pt)+TagSize, ctx, false); err != nil {
+			t.Fatalf("offload %d: %v", i, err)
+		}
+		offs = append(offs, pending{sbuf, dbuf, pt})
+	}
+	if drv.Stats().ForceRecycleCalls == 0 {
+		t.Fatal("force-recycle never ran with a 4-page scratchpad")
+	}
+	// The most recent offloads are still pending and must read correctly.
+	g, _ := aesgcm.NewGCM(key)
+	want, _ := g.Seal(nil, iv, offs[7].pt, nil)
+	out, _, err := drv.Use(0, offs[7].dbuf, len(offs[7].pt)+TagSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("corruption after force-recycle")
+	}
+	_ = r
+}
+
+func TestConcurrentOffloadsInterleaved(t *testing.T) {
+	// Multiple in-flight records with interleaved copies — the Fig. 9
+	// scenario (4 "cores" offloading concurrently).
+	r := newRig(t, 128*1024, 8)
+	key := []byte("0123456789abcdef")
+	const n = 4
+	type off struct {
+		sbuf, dbuf uint64
+		pt         []byte
+		iv         []byte
+	}
+	var offs [n]off
+	for i := range offs {
+		pt := corpus.Generate(corpus.Text, 4096-TagSize, int64(i))
+		iv := []byte{byte(i), 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+		sbuf, _ := r.driver.AllocPages(1)
+		dbuf, _ := r.driver.AllocPages(1)
+		src := make([]byte, PageSize)
+		copy(src, pt)
+		r.driver.WriteBuffer(i, sbuf, src)
+		offs[i] = off{sbuf, dbuf, pt, iv}
+	}
+	// Register all, then interleave... CompCpy performs its own copy, so
+	// "interleaving" here means running them back to back with shared
+	// device state while earlier destinations are still un-recycled.
+	for i := range offs {
+		ctx := tlsOffloadContext(t, aesgcm.Encrypt, key, offs[i].iv, nil, len(offs[i].pt))
+		if _, err := r.driver.CompCpy(i, offs[i].dbuf, offs[i].sbuf, PageSize, ctx, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range offs {
+		out, _, err := r.driver.Use(i, offs[i].dbuf, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := aesgcm.NewGCM(key)
+		want, _ := g.Seal(nil, offs[i].iv, offs[i].pt, nil)
+		if !bytes.Equal(out[:len(want)], want) {
+			t.Fatalf("offload %d corrupted", i)
+		}
+	}
+}
+
+func TestNonAcceleratedTrafficUntouched(t *testing.T) {
+	// R2: SmartDIMM must behave as a plain DIMM outside acceleration
+	// ranges, even while offloads are in flight.
+	r := newRig(t, 128*1024, 8)
+	plain := uint64(2 << 20)
+	want := corpus.Generate(corpus.Random, PageSize, 9)
+	r.driver.WriteBuffer(0, plain, want)
+	r.hier.Flush(plain, PageSize)
+
+	key := []byte("0123456789abcdef")
+	runTLSEncrypt(t, r, key, []byte("abcdefghijkl"), nil, corpus.Generate(corpus.Text, 2000, 1))
+
+	got := make([]byte, 0, PageSize)
+	var line [64]byte
+	for off := 0; off < PageSize; off += 64 {
+		r.hier.Read64(0, plain+uint64(off), line[:])
+		got = append(got, line[:]...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("plain traffic corrupted by in-flight offload")
+	}
+}
+
+func TestCompCpyValidation(t *testing.T) {
+	r := newRig(t, 128*1024, 8)
+	ctx := &OffloadContext{Op: OpCompress, Length: PageSize}
+	if _, err := r.driver.CompCpy(0, 100, 0, PageSize, ctx, true); err != ErrNotAligned {
+		t.Fatalf("unaligned dbuf: %v", err)
+	}
+	if _, err := r.driver.CompCpy(0, 0, 100, PageSize, ctx, true); err != ErrNotAligned {
+		t.Fatalf("unaligned sbuf: %v", err)
+	}
+	if _, err := r.driver.CompCpy(0, 0, PageSize, 0, ctx, true); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	// TLS record larger than CompCpy size rejected.
+	tctx := tlsOffloadContext(t, aesgcm.Encrypt, []byte("0123456789abcdef"), []byte("abcdefghijkl"), nil, PageSize)
+	if _, err := r.driver.CompCpy(0, 0, PageSize, PageSize, tctx, false); err == nil {
+		t.Fatal("record exceeding size accepted")
+	}
+}
+
+func TestDriverAllocator(t *testing.T) {
+	r := newRig(t, 128*1024, 8)
+	a, err := r.driver.AllocPages(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.driver.AllocPages(2)
+	if a == b {
+		t.Fatal("duplicate allocation")
+	}
+	if a%PageSize != 0 || b%PageSize != 0 {
+		t.Fatal("unaligned allocation")
+	}
+	r.driver.FreePages(a, 2)
+	c, _ := r.driver.AllocPages(2)
+	if c != a {
+		t.Fatalf("free list not reused: %#x vs %#x", c, a)
+	}
+	if _, err := r.driver.AllocPages(0); err == nil {
+		t.Fatal("zero-page alloc accepted")
+	}
+}
+
+func TestMMIOStatusReflectsScratchpad(t *testing.T) {
+	r := newRig(t, 4<<20, 8) // big LLC: pages stay pending until Use
+	free0, pend0, err := r.driver.readStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free0 != 2048 || pend0 != 0 {
+		t.Fatalf("initial status %d/%d", free0, pend0)
+	}
+	sbuf, _ := r.driver.AllocPages(1)
+	dbuf, _ := r.driver.AllocPages(1)
+	r.driver.WriteBuffer(0, sbuf, corpus.Generate(corpus.Text, MaxCompressInput, 1))
+	ctx := &OffloadContext{Op: OpCompress, Length: MaxCompressInput}
+	if _, err := r.driver.CompCpy(0, dbuf, sbuf, PageSize, ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	free1, pend1, _ := r.driver.readStatus()
+	if free1 != 2047 || pend1 != 1 {
+		t.Fatalf("status after offload %d/%d, want 2047/1", free1, pend1)
+	}
+	r.driver.Use(0, dbuf, PageSize)
+	free2, pend2, _ := r.driver.readStatus()
+	if free2 != 2048 || pend2 != 0 {
+		t.Fatalf("status after use %d/%d, want 2048/0", free2, pend2)
+	}
+}
+
+func TestReRegistrationEvictsStaleAllocation(t *testing.T) {
+	r := newRig(t, 4<<20, 8) // big LLC so the first record stays live
+	sbuf, _ := r.driver.AllocPages(1)
+	dbuf, _ := r.driver.AllocPages(1)
+	data := corpus.Generate(corpus.Text, MaxCompressInput, 21)
+	r.driver.WriteBuffer(0, sbuf, data)
+	ctx := &OffloadContext{Op: OpCompress, Length: MaxCompressInput}
+	if _, err := r.driver.CompCpy(0, dbuf, sbuf, PageSize, ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	// Reusing the buffers while the old record is still un-recycled
+	// implicitly retires the stale allocation (buffer reuse = consent).
+	data2 := corpus.Generate(corpus.Text, MaxCompressInput, 22)
+	r.driver.WriteBuffer(0, sbuf, data2)
+	if _, err := r.driver.CompCpy(0, dbuf, sbuf, PageSize, ctx, true); err != nil {
+		t.Fatalf("re-registration failed: %v", err)
+	}
+	if r.dev.Stats().StaleEvictions == 0 {
+		t.Fatal("stale eviction not counted")
+	}
+	page, _, err := r.driver.Use(0, dbuf, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := DecodeCompressedPage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, data2) {
+		t.Fatal("second offload corrupted after stale eviction")
+	}
+	// No leaks: scratchpad fully free after Use.
+	if free := r.dev.ScratchpadFreePages(); free != 2048 {
+		t.Fatalf("scratchpad free = %d, want 2048", free)
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	for op, want := range map[Opcode]string{
+		OpNone: "none", OpTLSEncrypt: "tls-encrypt", OpTLSDecrypt: "tls-decrypt",
+		OpCompress: "compress", OpDecompress: "decompress",
+	} {
+		if op.String() != want {
+			t.Errorf("%d = %q", op, op.String())
+		}
+	}
+}
+
+func TestCompressedPageFormat(t *testing.T) {
+	enc := deflate.NewHWEncoder(deflate.PaperHWConfig())
+	// Compressible data: deflate payload.
+	data := bytes.Repeat([]byte("abcd"), 1023)
+	page := EncodeCompressedPage(data, enc)
+	if len(page) != PageSize {
+		t.Fatal("page size wrong")
+	}
+	out, err := DecodeCompressedPage(page)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatal("compressible round trip failed")
+	}
+	// Incompressible data: raw fallback at the maximum input size.
+	rnd := make([]byte, MaxCompressInput)
+	rand.New(rand.NewSource(1)).Read(rnd)
+	page = EncodeCompressedPage(rnd, enc)
+	out, err = DecodeCompressedPage(page)
+	if err != nil || !bytes.Equal(out, rnd) {
+		t.Fatal("raw fallback round trip failed")
+	}
+	// Oversized input panics (caller contract).
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized compression input accepted")
+			}
+		}()
+		EncodeCompressedPage(make([]byte, PageSize), enc)
+	}()
+	// Corrupt header rejected.
+	if _, err := DecodeCompressedPage([]byte{1}); err == nil {
+		t.Fatal("short page accepted")
+	}
+	bad := make([]byte, 64)
+	bad[0] = 0xFF
+	bad[1] = 0xFF
+	bad[2] = 0xFF
+	if _, err := DecodeCompressedPage(bad); err == nil {
+		t.Fatal("overrun length accepted")
+	}
+}
+
+func TestDeviceConfigValidation(t *testing.T) {
+	if _, err := NewDevice(DeviceConfig{Geometry: dram.SmallGeometry()}); err == nil {
+		t.Fatal("zero scratchpad accepted")
+	}
+	bad := PaperDeviceConfig(dram.Geometry{Ranks: 3, BankGroups: 4, BanksPerBG: 4, Rows: 16, ColsPerRow: 16})
+	if _, err := NewDevice(bad); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func TestTranslationTableStaysHealthy(t *testing.T) {
+	r := newRig(t, 64*1024, 8)
+	key := []byte("0123456789abcdef")
+	for i := 0; i < 20; i++ {
+		pt := corpus.Generate(corpus.Text, 3000, int64(i))
+		runTLSEncrypt(t, r, key, []byte("abcdefghijkl"), nil, pt)
+	}
+	ts := r.dev.TranslationStats()
+	if ts.FailedInserts != 0 {
+		t.Fatalf("translation insert failures: %+v", ts)
+	}
+	if ts.Inserts == 0 || ts.Deletes == 0 {
+		t.Fatalf("translation table unused: %+v", ts)
+	}
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cuckoo"
+	"repro/internal/dram"
+)
+
+// regMagic marks a valid MMIO registration header.
+const regMagic = 0x5D1A
+
+// DeviceConfig sizes the buffer device. The zero value is invalid; use
+// PaperDeviceConfig (8MB Scratchpad, 8MB Config Memory, 12288-entry
+// Translation Table — §VI) or override fields for ablations.
+type DeviceConfig struct {
+	Geometry        dram.Geometry
+	ScratchpadPages int
+	ConfigPages     int
+	// DSALatencyCycles is the DRAM-cycle latency from a source rdCAS to
+	// the corresponding result being ready in the Scratchpad. The §IV-D
+	// slack argument needs this well under the controller's read-to-write
+	// gap; the TLS DSA sustains DDR line rate, so a handful of buffer
+	// clock cycles (= 4 DRAM cycles each) suffices.
+	DSALatencyCycles int64
+	// MMIOPages reserves the top of the address range as config space.
+	MMIOPages int
+}
+
+// PaperDeviceConfig returns the §VI configuration over the given
+// geometry: 2048 Scratchpad pages (8MB), 2048 Config Memory pages (8MB).
+func PaperDeviceConfig(geo dram.Geometry) DeviceConfig {
+	return DeviceConfig{
+		Geometry:         geo,
+		ScratchpadPages:  2048,
+		ConfigPages:      2048,
+		DSALatencyCycles: 32, // 8 buffer-device cycles
+		MMIOPages:        1,
+	}
+}
+
+// DeviceStats counts arbiter outcomes, keyed to the Fig. 6 states.
+type DeviceStats struct {
+	Registrations   uint64
+	SourceReads     uint64 // rdCAS in a source acceleration range (S6)
+	DSALinesFed     uint64
+	SelfRecycles    uint64 // wrCAS swapped with Scratchpad data (§IV-B)
+	PagesRecycled   uint64 // Scratchpad pages fully freed
+	IgnoredWrites   uint64 // S7: write while computation pending
+	ScratchpadReads uint64 // S10: read served from Scratchpad
+	Alerts          uint64 // S13: ALERT_N asserted
+	SourceWrites    uint64 // writes into a registered source range
+	NormalReads     uint64
+	NormalWrites    uint64
+	MMIOReads       uint64
+	MMIOWrites      uint64
+	AuthFailures    uint64 // TLS decrypt tag verification failures
+	StaleEvictions  uint64 // re-registrations that retired a stale allocation
+	DSAErrors       uint64
+	BufferCycles    int64 // buffer-device clock (1/4 DRAM clock) high-water
+}
+
+// Device is the SmartDIMM buffer device: a dram.Module interposed
+// between the memory controller and the DRAM chips.
+type Device struct {
+	cfg      DeviceConfig
+	chips    *dram.Chips
+	mapper   *dram.Mapper
+	bank     []int32 // the buffer device's own Bank Table (§IV-C)
+	tt       *cuckoo.Table[*translation]
+	sp       *scratchpad
+	cm       *configMem
+	mmioBase uint64
+	// reg is the in-flight registration awaiting context bytes; the
+	// CompCpy lock serializes registrations so a single cursor suffices.
+	reg   *regState
+	stats DeviceStats
+	// records maps the record's first source page to its record for
+	// multi-page attach.
+	records map[uint64]*record
+}
+
+type regState struct {
+	rec     *record
+	ctxLen  int
+	rx      int
+	cfgIdx  int
+	srcPage uint64
+}
+
+// NewDevice builds a SmartDIMM over fresh DRAM chips.
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	if cfg.ScratchpadPages <= 0 || cfg.ConfigPages <= 0 {
+		return nil, fmt.Errorf("core: scratchpad/config pages must be positive")
+	}
+	if cfg.MMIOPages <= 0 {
+		cfg.MMIOPages = 1
+	}
+	chips, err := dram.NewChips(cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:     cfg,
+		chips:   chips,
+		mapper:  chips.Mapper(),
+		bank:    make([]int32, cfg.Geometry.TotalBanks()),
+		tt:      cuckoo.New[*translation](3*(cfg.ScratchpadPages+cfg.ConfigPages), cuckoo.DefaultWays, cuckoo.DefaultCAMEntries),
+		sp:      newScratchpad(cfg.ScratchpadPages),
+		cm:      newConfigMem(cfg.ConfigPages),
+		records: make(map[uint64]*record),
+	}
+	for i := range d.bank {
+		d.bank[i] = -1
+	}
+	cap := cfg.Geometry.CapacityBytes()
+	d.mmioBase = cap - uint64(cfg.MMIOPages)*PageSize
+	return d, nil
+}
+
+// Mapper implements dram.Module.
+func (d *Device) Mapper() *dram.Mapper { return d.mapper }
+
+// MMIOBase returns the channel-local base address of the config space.
+func (d *Device) MMIOBase() uint64 { return d.mmioBase }
+
+// Stats returns a copy of the arbiter statistics.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// ScratchpadOccupancyBytes returns un-recycled Scratchpad bytes (Fig 10).
+func (d *Device) ScratchpadOccupancyBytes() int { return d.sp.occupancyBytes() }
+
+// ScratchpadFreePages returns the free Scratchpad page count.
+func (d *Device) ScratchpadFreePages() int { return d.sp.freePages() }
+
+// PendingPages returns the destination pages not yet fully recycled.
+func (d *Device) PendingPages() []uint64 { return d.sp.pendingPages() }
+
+// TranslationStats exposes the cuckoo table statistics for the §IV-C
+// ablation.
+func (d *Device) TranslationStats() cuckoo.Stats { return d.tt.Stats() }
+
+// HandleCommand implements dram.Module: the arbiter of Fig. 6.
+func (d *Device) HandleCommand(cycle int64, cmd dram.Command, wdata, rdata []byte) (bool, error) {
+	if bc := cycle / 4; bc > d.stats.BufferCycles {
+		d.stats.BufferCycles = bc // buffer device runs at 1/4 DRAM clock
+	}
+	switch cmd.Kind {
+	case dram.CmdACT:
+		d.bank[d.mapper.BankIndex(cmd.Rank, cmd.BG, cmd.BA)] = int32(cmd.Row)
+		return false, d.chips.Activate(cmd.Rank, cmd.BG, cmd.BA, cmd.Row)
+	case dram.CmdPRE:
+		d.bank[d.mapper.BankIndex(cmd.Rank, cmd.BG, cmd.BA)] = -1
+		d.chips.Precharge(cmd.Rank, cmd.BG, cmd.BA)
+		return false, nil
+	case dram.CmdREF:
+		return false, nil
+	case dram.CmdRd:
+		return d.handleRead(cycle, cmd, rdata)
+	case dram.CmdWr:
+		return d.handleWrite(cycle, cmd, wdata)
+	default:
+		return false, fmt.Errorf("core: unknown command %v", cmd.Kind)
+	}
+}
+
+// physOf regenerates the physical address of a CAS from the buffer
+// device's Bank Table (the real hardware does not see the Row on CAS
+// commands; §IV-C's Addr Remap).
+func (d *Device) physOf(cmd dram.Command) (uint64, error) {
+	row := d.bank[d.mapper.BankIndex(cmd.Rank, cmd.BG, cmd.BA)]
+	if row == -1 {
+		return 0, fmt.Errorf("core: CAS to precharged bank (bank table)")
+	}
+	if int(row) != cmd.Row {
+		return 0, fmt.Errorf("core: bank table row %d disagrees with controller row %d", row, cmd.Row)
+	}
+	return d.mapper.Encode(cmd.Rank, cmd.BG, cmd.BA, int(row), cmd.Col), nil
+}
+
+func (d *Device) handleRead(cycle int64, cmd dram.Command, rdata []byte) (bool, error) {
+	phys, err := d.physOf(cmd)
+	if err != nil {
+		return false, err
+	}
+	if phys >= d.mmioBase {
+		d.stats.MMIOReads++
+		return false, d.mmioRead(phys, cmd, rdata)
+	}
+	page := phys / PageSize
+	tr, ok := d.tt.Lookup(page)
+	if !ok {
+		d.stats.NormalReads++
+		return false, d.chips.Read(cmd, rdata)
+	}
+	if tr.isSource {
+		// S6: pass the data through and feed the DSA.
+		if err := d.chips.Read(cmd, rdata); err != nil {
+			return false, err
+		}
+		d.stats.SourceReads++
+		d.feedDSA(cycle, tr, phys, rdata)
+		return false, nil
+	}
+	// Destination page: S8-S13.
+	sp := &d.sp.pages[tr.spIdx]
+	lineIdx := int(phys%PageSize) / dram.CachelineSize
+	switch sp.state[lineIdx] {
+	case lineRecycled:
+		d.stats.NormalReads++
+		return false, d.chips.Read(cmd, rdata)
+	case lineReady:
+		if cycle < sp.readyAt[lineIdx] {
+			d.stats.Alerts++ // S13: result still in the DSA pipeline
+			return true, nil
+		}
+		// S10: serve from the Scratchpad; the line stays pending until a
+		// writeback recycles it.
+		off := lineIdx * dram.CachelineSize
+		copy(rdata, sp.data[off:off+dram.CachelineSize])
+		d.stats.ScratchpadReads++
+		return false, nil
+	default: // linePending
+		d.stats.Alerts++ // S13
+		return true, nil
+	}
+}
+
+func (d *Device) handleWrite(cycle int64, cmd dram.Command, wdata []byte) (bool, error) {
+	phys, err := d.physOf(cmd)
+	if err != nil {
+		return false, err
+	}
+	if phys >= d.mmioBase {
+		d.stats.MMIOWrites++
+		return false, d.mmioWrite(phys, wdata)
+	}
+	page := phys / PageSize
+	tr, ok := d.tt.Lookup(page)
+	if !ok {
+		d.stats.NormalWrites++
+		return false, d.chips.Write(cmd, wdata)
+	}
+	if tr.isSource {
+		// Writes into a registered source range pass through; mutating a
+		// source mid-offload is an API violation the stats surface.
+		d.stats.SourceWrites++
+		return false, d.chips.Write(cmd, wdata)
+	}
+	sp := &d.sp.pages[tr.spIdx]
+	lineIdx := int(phys%PageSize) / dram.CachelineSize
+	switch sp.state[lineIdx] {
+	case lineReady:
+		if cycle < sp.readyAt[lineIdx] {
+			d.stats.IgnoredWrites++ // S7: result not out of the pipeline yet
+			return false, nil
+		}
+		// Self-Recycle (§IV-B): replace the wrCAS data with the
+		// Scratchpad's, write to DRAM, and invalidate the Scratchpad line.
+		off := lineIdx * dram.CachelineSize
+		if err := d.chips.Write(cmd, sp.data[off:off+dram.CachelineSize]); err != nil {
+			return false, err
+		}
+		sp.state[lineIdx] = lineRecycled
+		sp.remaining--
+		d.stats.SelfRecycles++
+		if sp.remaining == 0 {
+			d.retirePage(tr, sp)
+		}
+		return false, nil
+	case linePending:
+		d.stats.IgnoredWrites++ // S7
+		return false, nil
+	default: // lineRecycled: behave as a regular DIMM
+		d.stats.NormalWrites++
+		return false, d.chips.Write(cmd, wdata)
+	}
+}
+
+// feedDSA sends one source cacheline to the record's DSA and stores the
+// produced destination lines in the Scratchpad.
+func (d *Device) feedDSA(cycle int64, tr *translation, phys uint64, data []byte) {
+	rec := tr.rec
+	if rec == nil || rec.dsa == nil {
+		d.stats.DSAErrors++
+		return
+	}
+	recOff := tr.pageIndex*PageSize + int(phys%PageSize)
+	clIdx := recOff / dram.CachelineSize
+	if clIdx >= len(rec.processed) || rec.processed[clIdx] {
+		return // beyond the record or already fed (repeat read)
+	}
+	end := recOff + dram.CachelineSize
+	if end > rec.length {
+		end = rec.length
+	}
+	if end <= recOff {
+		return
+	}
+	rec.processed[clIdx] = true
+	d.stats.DSALinesFed++
+	lines, err := rec.dsa.ProcessSourceLine(recOff, data[:end-recOff])
+	if err != nil {
+		d.stats.DSAErrors++
+		return
+	}
+	if t, ok := rec.dsa.(*tlsDSA); ok && t.AuthFailed() {
+		d.stats.AuthFailures++
+	}
+	for _, dl := range lines {
+		d.placeDestLine(cycle, rec, dl)
+	}
+}
+
+// placeDestLine stores one DSA output line into the Scratchpad page of
+// the destination page that covers its record offset.
+func (d *Device) placeDestLine(cycle int64, rec *record, dl destLine) {
+	pageIdx := dl.RecOff / PageSize
+	if pageIdx >= len(rec.destPages) {
+		d.stats.DSAErrors++
+		return
+	}
+	tr, ok := d.tt.Lookup(rec.destPages[pageIdx])
+	if !ok || tr.isSource {
+		d.stats.DSAErrors++
+		return
+	}
+	sp := &d.sp.pages[tr.spIdx]
+	off := dl.RecOff % PageSize
+	lineIdx := off / dram.CachelineSize
+	copy(sp.data[off:off+dram.CachelineSize], dl.Data[:])
+	if sp.state[lineIdx] == linePending {
+		sp.state[lineIdx] = lineReady
+		sp.readyAt[lineIdx] = cycle + d.cfg.DSALatencyCycles
+	}
+}
+
+// evictStale force-retires a leftover allocation on page, if any.
+func (d *Device) evictStale(page uint64) {
+	tr, ok := d.tt.Lookup(page)
+	if !ok {
+		return
+	}
+	d.stats.StaleEvictions++
+	if tr.isSource {
+		// Source translations normally retire with their record; a
+		// straggler means the record's destinations are being reused.
+		d.cm.release(tr.cfgIdx)
+		d.tt.Delete(page)
+		return
+	}
+	sp := &d.sp.pages[tr.spIdx]
+	d.retirePage(tr, sp)
+}
+
+// retirePage frees a fully recycled Scratchpad page and, when the whole
+// record is done, its Config Memory pages and source translations.
+func (d *Device) retirePage(tr *translation, sp *spPage) {
+	rec := sp.rec
+	d.tt.Delete(sp.dbufPage)
+	d.sp.release(tr.spIdx)
+	d.stats.PagesRecycled++
+	rec.donePages++
+	if rec.donePages == len(rec.destPages) {
+		for _, src := range rec.srcPages {
+			// Only drop translations still belonging to this record — a
+			// buffer-reusing successor may have registered the same page.
+			if st, ok := d.tt.Lookup(src); ok && st.isSource && st.rec == rec {
+				d.cm.release(st.cfgIdx)
+				d.tt.Delete(src)
+			}
+		}
+		if d.records[rec.srcPages[0]] == rec {
+			delete(d.records, rec.srcPages[0])
+		}
+	}
+}
+
+// --- MMIO config space ---------------------------------------------------
+
+// mmioRead serves status (offset 0) and the pending-page list (offsets
+// 64, 128, ...; eight page numbers per 64-byte read).
+func (d *Device) mmioRead(phys uint64, cmd dram.Command, dst []byte) error {
+	off := phys - d.mmioBase
+	for i := 0; i < dram.CachelineSize; i++ {
+		dst[i] = 0
+	}
+	if off == 0 {
+		binary.LittleEndian.PutUint64(dst[0:], uint64(d.sp.freePages()))
+		pend := d.sp.pendingPages()
+		binary.LittleEndian.PutUint64(dst[8:], uint64(len(pend)))
+		binary.LittleEndian.PutUint64(dst[16:], d.stats.AuthFailures)
+		binary.LittleEndian.PutUint64(dst[24:], uint64(d.sp.occupancyBytes()))
+		return nil
+	}
+	chunk := int(off/dram.CachelineSize) - 1
+	pend := d.sp.pendingPages()
+	for i := 0; i < 8; i++ {
+		idx := chunk*8 + i
+		if idx >= len(pend) {
+			break
+		}
+		binary.LittleEndian.PutUint64(dst[i*8:], pend[idx])
+	}
+	return nil
+}
+
+// mmioWrite handles registration headers (offset 0) and context chunks
+// (offsets 64, 128, ...), S17 in Fig. 6.
+func (d *Device) mmioWrite(phys uint64, src []byte) error {
+	off := phys - d.mmioBase
+	if off == 0 {
+		return d.register(src)
+	}
+	// Context chunk for the in-flight registration.
+	if d.reg == nil {
+		return fmt.Errorf("core: context write with no registration in flight")
+	}
+	r := d.reg
+	take := r.ctxLen - r.rx
+	if take > dram.CachelineSize {
+		take = dram.CachelineSize
+	}
+	cp := &d.cm.pages[r.cfgIdx]
+	cp.raw = append(cp.raw, src[:take]...)
+	r.rx += take
+	if r.rx >= r.ctxLen {
+		return d.finishRegistration()
+	}
+	return nil
+}
+
+// register parses a 64-byte registration header.
+func (d *Device) register(src []byte) error {
+	if len(src) < dram.CachelineSize {
+		return fmt.Errorf("core: short registration write")
+	}
+	if binary.LittleEndian.Uint16(src[0:]) != regMagic {
+		return fmt.Errorf("core: bad registration magic")
+	}
+	op := Opcode(src[2])
+	ctxLen := int(binary.LittleEndian.Uint16(src[4:]))
+	pageIndex := int(binary.LittleEndian.Uint16(src[6:]))
+	sbufPage := binary.LittleEndian.Uint64(src[8:])
+	dbufPage := binary.LittleEndian.Uint64(src[16:])
+	recordLen := int(binary.LittleEndian.Uint32(src[24:]))
+	ctxPage := binary.LittleEndian.Uint64(src[28:])
+	d.stats.Registrations++
+
+	// Re-registering a page whose previous offload never fully recycled
+	// (e.g. an S7-ignored writeback left lines stranded in the
+	// Scratchpad) implicitly retires the stale allocation: by reusing
+	// the buffer the software has declared the old record's content
+	// consumed, so dropping the un-written-back lines is safe.
+	d.evictStale(sbufPage)
+	d.evictStale(dbufPage)
+	if d.tt.Contains(sbufPage) || d.tt.Contains(dbufPage) {
+		return fmt.Errorf("core: page still registered after stale eviction (sbuf %#x / dbuf %#x)", sbufPage, dbufPage)
+	}
+
+	var rec *record
+	if pageIndex == 0 {
+		if recordLen <= 0 {
+			return fmt.Errorf("core: record length %d invalid", recordLen)
+		}
+		rec = &record{
+			op:        op,
+			length:    recordLen,
+			processed: make([]bool, (recordLen+dram.CachelineSize-1)/dram.CachelineSize),
+		}
+		d.records[sbufPage] = rec
+	} else {
+		var ok bool
+		rec, ok = d.records[ctxPage]
+		if !ok {
+			return fmt.Errorf("core: page %d references unknown record %#x", pageIndex, ctxPage)
+		}
+		if pageIndex != len(rec.srcPages) {
+			return fmt.Errorf("core: out-of-order page registration %d", pageIndex)
+		}
+	}
+
+	cfgIdx := d.cm.alloc(rec)
+	if cfgIdx == -1 {
+		delete(d.records, sbufPage)
+		return ErrNoScratchpad
+	}
+	spIdx := d.sp.alloc(dbufPage, rec)
+	if spIdx == -1 {
+		d.cm.release(cfgIdx)
+		delete(d.records, sbufPage)
+		return ErrNoScratchpad
+	}
+	// Lines beyond the record's destination coverage in this page can
+	// never be produced by the DSA; pre-mark them recycled so the page
+	// retires once the covered lines are written back.
+	covered := destCoverage(op, recordLen, pageIndex)
+	sp := &d.sp.pages[spIdx]
+	for l := (covered + dram.CachelineSize - 1) / dram.CachelineSize; l < LinesPerPage; l++ {
+		sp.state[l] = lineRecycled
+		sp.remaining--
+	}
+	if pageIndex == 0 {
+		rec.cfgIdx = cfgIdx
+	}
+	rec.srcPages = append(rec.srcPages, sbufPage)
+	rec.destPages = append(rec.destPages, dbufPage)
+
+	srcTr := &translation{isSource: true, cfgIdx: cfgIdx, destPage: dbufPage, pageIndex: pageIndex, rec: rec}
+	if err := d.tt.Insert(sbufPage, srcTr); err != nil {
+		return fmt.Errorf("core: translation insert: %w", err)
+	}
+	dstTr := &translation{spIdx: spIdx, rec: rec}
+	if err := d.tt.Insert(dbufPage, dstTr); err != nil {
+		d.tt.Delete(sbufPage)
+		return fmt.Errorf("core: translation insert: %w", err)
+	}
+
+	if pageIndex == 0 {
+		d.reg = &regState{rec: rec, ctxLen: ctxLen, cfgIdx: cfgIdx, srcPage: sbufPage}
+		if ctxLen == 0 {
+			return d.finishRegistration()
+		}
+	}
+	return nil
+}
+
+// destCoverage returns how many bytes of the destination page at
+// pageIndex the DSA will produce: TLS output matches the record length
+// (payload + trailer); the page-granular (de)compression DSAs always
+// fill whole pages.
+func destCoverage(op Opcode, recordLen, pageIndex int) int {
+	switch op {
+	case OpTLSEncrypt, OpTLSDecrypt:
+		n := recordLen - pageIndex*PageSize
+		if n < 0 {
+			n = 0
+		}
+		if n > PageSize {
+			n = PageSize
+		}
+		return n
+	default:
+		return PageSize
+	}
+}
+
+// finishRegistration builds the DSA from the accumulated context.
+func (d *Device) finishRegistration() error {
+	r := d.reg
+	d.reg = nil
+	dsa, err := buildDSA(r.rec.op, r.rec.length, d.cm.pages[r.cfgIdx].raw)
+	if err != nil {
+		d.stats.DSAErrors++
+		return fmt.Errorf("core: DSA build: %w", err)
+	}
+	r.rec.dsa = dsa
+	return nil
+}

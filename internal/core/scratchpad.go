@@ -1,0 +1,192 @@
+// Package core implements the paper's primary contribution: the
+// SmartDIMM buffer device (§IV) and the CompCpy offload API (§IV-A,
+// Algorithm 2). The buffer device is a dram.Module — it is "solely
+// controlled by read and write commands received at the DIMM's buffer
+// device" — that interposes between the memory controller and the DRAM
+// chips:
+//
+//   - a Bank Table mirrors open rows from ACT/PRE commands so CAS
+//     commands can be remapped to physical addresses (Addr Remap);
+//   - a Translation Table (3-ary cuckoo hash + CAM, internal/cuckoo)
+//     maps physical page numbers to Scratchpad or Config Memory pages;
+//   - the Arbiter implements the Fig. 6 decision flow: feeding source
+//     reads to the DSA, swapping destination writebacks with Scratchpad
+//     contents (Self-Recycle), serving still-pending destination reads
+//     from the Scratchpad (S10) or asserting ALERT_N (S13);
+//   - Domain-Specific Accelerators perform TLS (de/en)cryption
+//     (internal/aesgcm's out-of-order cacheline engine) and Deflate
+//     (de)compression (internal/deflate's hardware-style encoder).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// PageSize is the offload granularity (4KB OS pages).
+const PageSize = dram.PageSize
+
+// LinesPerPage is the number of 64-byte cachelines per page.
+const LinesPerPage = PageSize / dram.CachelineSize
+
+// lineState tracks one destination cacheline in the Scratchpad.
+type lineState uint8
+
+const (
+	linePending  lineState = iota // DSA has not produced this line yet
+	lineReady                     // result in Scratchpad, awaiting recycle
+	lineRecycled                  // written back to DRAM, slot free
+)
+
+// spPage is one 4KB Scratchpad page holding a destination buffer's DSA
+// results until LLC writebacks recycle them into DRAM.
+type spPage struct {
+	inUse     bool
+	dbufPage  uint64 // physical page number served by this scratchpad page
+	data      [PageSize]byte
+	state     [LinesPerPage]lineState
+	readyAt   [LinesPerPage]int64 // DRAM cycle when the DSA result lands
+	remaining int                 // lines not yet recycled
+	rec       *record
+}
+
+// scratchpad manages the on-chip SRAM pages (§IV-B/C).
+type scratchpad struct {
+	pages []spPage
+	free  []int // free page indices (LIFO)
+}
+
+func newScratchpad(nPages int) *scratchpad {
+	s := &scratchpad{pages: make([]spPage, nPages), free: make([]int, 0, nPages)}
+	for i := nPages - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+	return s
+}
+
+// alloc reserves a page for dbufPage, or returns -1 when full.
+func (s *scratchpad) alloc(dbufPage uint64, rec *record) int {
+	if len(s.free) == 0 {
+		return -1
+	}
+	idx := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	p := &s.pages[idx]
+	*p = spPage{inUse: true, dbufPage: dbufPage, remaining: LinesPerPage, rec: rec}
+	for i := range p.state {
+		p.state[i] = linePending
+	}
+	return idx
+}
+
+// release returns a fully recycled page to the free list.
+func (s *scratchpad) release(idx int) {
+	s.pages[idx].inUse = false
+	s.free = append(s.free, idx)
+}
+
+// freePages returns the number of available pages.
+func (s *scratchpad) freePages() int { return len(s.free) }
+
+// usedPages returns the number of allocated pages.
+func (s *scratchpad) usedPages() int { return len(s.pages) - len(s.free) }
+
+// occupancyBytes returns the bytes of Scratchpad currently holding
+// un-recycled results — the quantity Fig. 10 plots.
+func (s *scratchpad) occupancyBytes() int {
+	n := 0
+	for i := range s.pages {
+		p := &s.pages[i]
+		if p.inUse {
+			n += p.remaining * dram.CachelineSize
+		}
+	}
+	return n
+}
+
+// pendingPages lists the physical page numbers of in-use (not fully
+// recycled) destination pages — what Force-Recycle reads from the MMIO
+// config space (Algorithm 1).
+func (s *scratchpad) pendingPages() []uint64 {
+	var out []uint64
+	for i := range s.pages {
+		if s.pages[i].inUse {
+			out = append(out, s.pages[i].dbufPage)
+		}
+	}
+	return out
+}
+
+// configPage is one 4KB Config Memory page holding the per-source-page
+// offload context (§IV-C). raw accumulates the serialized context bytes
+// the CPU writes through the MMIO window.
+type configPage struct {
+	inUse bool
+	raw   []byte
+	rec   *record
+}
+
+// configMem manages Config Memory pages.
+type configMem struct {
+	pages []configPage
+	free  []int
+}
+
+func newConfigMem(nPages int) *configMem {
+	c := &configMem{pages: make([]configPage, nPages), free: make([]int, 0, nPages)}
+	for i := nPages - 1; i >= 0; i-- {
+		c.free = append(c.free, i)
+	}
+	return c
+}
+
+func (c *configMem) alloc(rec *record) int {
+	if len(c.free) == 0 {
+		return -1
+	}
+	idx := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.pages[idx] = configPage{inUse: true, raw: nil, rec: rec}
+	return idx
+}
+
+func (c *configMem) release(idx int) {
+	c.pages[idx] = configPage{}
+	c.free = append(c.free, idx)
+}
+
+func (c *configMem) freePages() int { return len(c.free) }
+
+// translation is a Translation Table entry: the paper differentiates
+// Config Memory and Scratchpad mappings with a single-bit flag; source
+// entries also carry the destination page(s) and context offset.
+type translation struct {
+	isSource bool
+	// For source pages:
+	cfgIdx    int    // Config Memory page holding the context
+	destPage  uint64 // physical page number of the paired destination
+	pageIndex int    // index of this page within the record
+	rec       *record
+	// For destination pages:
+	spIdx int // Scratchpad page index
+}
+
+// record is one in-flight offload: a ULP message spanning one or more
+// 4KB pages, processed by one DSA instance.
+type record struct {
+	op        Opcode
+	dsa       dsaInstance
+	cfgIdx    int
+	srcPages  []uint64 // physical page numbers, record order
+	destPages []uint64
+	length    int // total record bytes
+	// processed tracks which source cachelines have been fed to the DSA
+	// (S6/S7 bookkeeping); indexed by record cacheline index.
+	processed []bool
+	donePages int // destination pages fully recycled
+}
+
+func (r *record) String() string {
+	return fmt.Sprintf("record(op=%v len=%d pages=%d)", r.op, r.length, len(r.srcPages))
+}

@@ -1,0 +1,385 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+// stdInflate decodes with compress/flate as the reference decoder.
+func stdInflate(t *testing.T, data []byte) []byte {
+	t.Helper()
+	r := flate.NewReader(bytes.NewReader(data))
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("reference inflate failed: %v", err)
+	}
+	return out
+}
+
+// stdDeflate encodes with compress/flate as the reference encoder.
+func stdDeflate(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, _ := flate.NewWriter(&buf, flate.DefaultCompression)
+	w.Write(data)
+	w.Close()
+	return buf.Bytes()
+}
+
+func testInputs() map[string][]byte {
+	rng := rand.New(rand.NewSource(42))
+	rnd := make([]byte, 8192)
+	rng.Read(rnd)
+	return map[string][]byte{
+		"empty":      {},
+		"single":     {0x42},
+		"two":        {0x42, 0x43},
+		"run":        bytes.Repeat([]byte{7}, 1000),
+		"abc-repeat": bytes.Repeat([]byte("abcabcabd"), 300),
+		"short":      []byte("hello world"),
+		"html":       corpus.Generate(corpus.HTML, 8192, 1),
+		"text":       corpus.Generate(corpus.Text, 8192, 1),
+		"json":       corpus.Generate(corpus.JSON, 8192, 1),
+		"random":     rnd,
+		"zeros":      corpus.Generate(corpus.Zeros, 8192, 1),
+		"4095":       corpus.Generate(corpus.Text, 4095, 9),
+		"almost-rfc": bytes.Repeat([]byte("a"), 65535+100), // crosses stored-block size
+	}
+}
+
+func TestSoftwareEncoderRoundTrip(t *testing.T) {
+	for name, in := range testInputs() {
+		t.Run(name, func(t *testing.T) {
+			c := Compress(in)
+			// Our decoder.
+			out, err := Decompress(c)
+			if err != nil {
+				t.Fatalf("own inflate: %v", err)
+			}
+			if !bytes.Equal(out, in) {
+				t.Fatal("own round trip mismatch")
+			}
+			// Reference decoder accepts our stream.
+			if ref := stdInflate(t, c); !bytes.Equal(ref, in) {
+				t.Fatal("reference decoder disagrees")
+			}
+		})
+	}
+}
+
+func TestHWEncoderRoundTrip(t *testing.T) {
+	enc := NewHWEncoder(PaperHWConfig())
+	for name, in := range testInputs() {
+		t.Run(name, func(t *testing.T) {
+			c := enc.Compress(in)
+			out, err := Decompress(c)
+			if err != nil {
+				t.Fatalf("own inflate: %v", err)
+			}
+			if !bytes.Equal(out, in) {
+				t.Fatal("own round trip mismatch")
+			}
+			if ref := stdInflate(t, c); !bytes.Equal(ref, in) {
+				t.Fatal("reference decoder disagrees")
+			}
+		})
+	}
+}
+
+func TestDecompressAcceptsReferenceStreams(t *testing.T) {
+	for name, in := range testInputs() {
+		t.Run(name, func(t *testing.T) {
+			c := stdDeflate(t, in)
+			out, err := Decompress(c)
+			if err != nil {
+				t.Fatalf("inflate of reference stream: %v", err)
+			}
+			if !bytes.Equal(out, in) {
+				t.Fatal("mismatch")
+			}
+		})
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	enc := NewHWEncoder(PaperHWConfig())
+	f := func(data []byte) bool {
+		c1 := Compress(data)
+		o1, err := Decompress(c1)
+		if err != nil || !bytes.Equal(o1, data) {
+			return false
+		}
+		c2 := enc.Compress(data)
+		o2, err := Decompress(c2)
+		return err == nil && bytes.Equal(o2, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftwareBeatsHWOnRatio(t *testing.T) {
+	// The DSA trades compression ratio for deterministic latency; on
+	// redundant data the software encoder (32KB window, dynamic Huffman)
+	// must compress at least as well.
+	in := corpus.Generate(corpus.HTML, 16384, 3)
+	sw := len(Compress(in))
+	hw := len(NewHWEncoder(PaperHWConfig()).Compress(in))
+	if sw > hw {
+		t.Fatalf("software (%dB) worse than hardware (%dB)", sw, hw)
+	}
+	// But the hardware model must still genuinely compress templated data.
+	if ratio := float64(len(in)) / float64(hw); ratio < 1.5 {
+		t.Fatalf("hw ratio = %.2f, want >= 1.5 on HTML", ratio)
+	}
+}
+
+func TestHWWindowAblation(t *testing.T) {
+	// Larger parallelization window and more banks should not hurt ratio;
+	// a tiny 1-port configuration must show bank conflicts on real data.
+	in := corpus.Generate(corpus.Text, 16384, 5)
+	small := NewHWEncoder(HWConfig{ParallelWindow: 8, Banks: 2, PortsPerBank: 1, WindowSize: 4096, TableEntries: 4096})
+	small.Compress(in)
+	if small.Stats().BankConflicts == 0 {
+		t.Fatal("1-port config shows no bank conflicts")
+	}
+	full := NewHWEncoder(PaperHWConfig())
+	full.Compress(in)
+	if full.Stats().BankConflicts >= small.Stats().BankConflicts {
+		t.Fatal("8-port config should conflict less than 1-port")
+	}
+}
+
+func TestHWStatsAccounting(t *testing.T) {
+	enc := NewHWEncoder(PaperHWConfig())
+	in := bytes.Repeat([]byte("abcdefgh"), 512)
+	enc.Compress(in)
+	st := enc.Stats()
+	if st.Matches == 0 {
+		t.Fatal("no matches on highly repetitive input")
+	}
+	if st.CandidateProbes == 0 || st.Cycles == 0 {
+		t.Fatalf("stats not accumulating: %+v", st)
+	}
+	enc.ResetStats()
+	if enc.Stats().Matches != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestHWHistoryWindowRespected(t *testing.T) {
+	// Two identical 2KB chunks separated by >4KB of random bytes: the
+	// DSA (4KB window) cannot use the far match; verify all emitted
+	// distances are within the window by decoding successfully and
+	// checking ratio stays low, and directly via token inspection.
+	rng := rand.New(rand.NewSource(6))
+	chunk := corpus.Generate(corpus.Text, 2048, 7)
+	gap := make([]byte, 5000)
+	rng.Read(gap)
+	in := append(append(append([]byte{}, chunk...), gap...), chunk...)
+
+	enc := NewHWEncoder(PaperHWConfig())
+	tokens := enc.lz77HW(in)
+	for _, tok := range tokens {
+		if !tok.isLiteral() && int(tok.dist) > enc.cfg.WindowSize {
+			t.Fatalf("distance %d exceeds DSA window %d", tok.dist, enc.cfg.WindowSize)
+		}
+	}
+}
+
+func TestCompressOptsWindow(t *testing.T) {
+	in := bytes.Repeat([]byte("0123456789abcdef"), 1024) // 16KB
+	narrow := CompressOpts(in, EncoderOptions{WindowSize: 256})
+	out, err := Decompress(narrow)
+	if err != nil || !bytes.Equal(out, in) {
+		t.Fatal("narrow-window round trip failed")
+	}
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"reserved-btype": {0x07},              // BFINAL=1, BTYPE=11
+		"truncated":      {0x01},              // fixed block, then EOF
+		"stored-len":     {0x01 ^ 0x01, 0x00}, // stored block, truncated LEN
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+	// Bit flips in a valid stream must not panic (errors are fine, and
+	// some flips may decode to different bytes; we only require safety).
+	valid := Compress(corpus.Generate(corpus.Text, 2048, 8))
+	for i := 0; i < len(valid); i += 7 {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x10
+		Decompress(mut) // must not panic
+	}
+}
+
+func TestDecompressLimit(t *testing.T) {
+	in := make([]byte, 100000)
+	c := Compress(in)
+	if _, err := DecompressLimit(c, 1000); err == nil {
+		t.Fatal("limit not enforced")
+	}
+	out, err := DecompressLimit(c, len(in))
+	if err != nil || len(out) != len(in) {
+		t.Fatalf("exact limit rejected: %v", err)
+	}
+}
+
+func TestStoredBlockChosenForRandom(t *testing.T) {
+	// Incompressible data should cost at most a few bytes of overhead,
+	// i.e. the encoder must fall back to stored blocks.
+	rnd := make([]byte, 4096)
+	rand.New(rand.NewSource(10)).Read(rnd)
+	c := Compress(rnd)
+	if len(c) > len(rnd)+16 {
+		t.Fatalf("random data expanded to %d bytes (want stored fallback)", len(c))
+	}
+}
+
+func TestTokenTables(t *testing.T) {
+	// Spot checks from RFC 1951 §3.2.5.
+	if lengthSym[3] != 257 || lengthSym[10] != 264 || lengthSym[11] != 265 ||
+		lengthSym[258] != 285 || lengthSym[257] != 284 {
+		t.Fatal("length symbol table wrong")
+	}
+	if lengthBase[265] != 11 || lengthExtra[265] != 1 {
+		t.Fatal("length base/extra wrong for 265")
+	}
+	if distCode(1) != 0 || distCode(4) != 3 || distCode(5) != 4 ||
+		distCode(32768) != 29 || distCode(24577) != 29 || distCode(24576) != 28 {
+		t.Fatalf("distance codes wrong: %d %d %d %d", distCode(1), distCode(4), distCode(32768), distCode(24577))
+	}
+	if distBase[4] != 5 || distExtra[4] != 1 || distBase[29] != 24577 || distExtra[29] != 13 {
+		t.Fatal("distance base/extra wrong")
+	}
+}
+
+func TestHuffmanCanonical(t *testing.T) {
+	// RFC 1951 §3.2.2 worked example: lengths (3,3,3,3,3,2,4,4) produce
+	// codes 010,011,100,101,110,00,1110,1111.
+	lengths := []uint8{3, 3, 3, 3, 3, 2, 4, 4}
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111}
+	for i, c := range codes {
+		if c.code != want[i] {
+			t.Errorf("symbol %d: code %b, want %b", i, c.code, want[i])
+		}
+	}
+	if _, err := canonicalCodes([]uint8{1, 1, 1}); err == nil {
+		t.Fatal("over-subscribed lengths accepted")
+	}
+}
+
+func TestBuildLengthsProperties(t *testing.T) {
+	f := func(rawFreq []uint16) bool {
+		freq := make([]int, len(rawFreq))
+		used := 0
+		for i, v := range rawFreq {
+			freq[i] = int(v)
+			if v > 0 {
+				used++
+			}
+		}
+		lengths := buildLengths(freq, maxCodeLen)
+		// Kraft inequality must hold and every used symbol has a code.
+		kraft := 0
+		for i, l := range lengths {
+			if freq[i] > 0 && l == 0 {
+				return false
+			}
+			if freq[i] == 0 && l != 0 {
+				return false
+			}
+			if l > 0 {
+				kraft += 1 << (maxCodeLen - int(l))
+			}
+		}
+		if kraft > 1<<maxCodeLen {
+			return false
+		}
+		_, err := canonicalCodes(lengths)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitIORoundTrip(t *testing.T) {
+	f := func(vals []uint16, widths []uint8) bool {
+		var w bitWriter
+		type item struct {
+			v uint32
+			n uint
+		}
+		var items []item
+		for i, v := range vals {
+			n := uint(1)
+			if i < len(widths) {
+				n = uint(widths[i]%16) + 1
+			}
+			iv := uint32(v) & (1<<n - 1)
+			items = append(items, item{iv, n})
+			w.writeBits(iv, n)
+		}
+		r := newBitReader(w.bytes())
+		for _, it := range items {
+			got, err := r.readBits(it.n)
+			if err != nil || got != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	if reverseBits(0b1011, 4) != 0b1101 {
+		t.Fatal("reverseBits wrong")
+	}
+	if reverseBits(1, 1) != 1 || reverseBits(0, 5) != 0 {
+		t.Fatal("reverseBits edge cases wrong")
+	}
+}
+
+func BenchmarkSoftwareCompress4KB(b *testing.B) {
+	in := corpus.Generate(corpus.HTML, 4096, 1)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Compress(in)
+	}
+}
+
+func BenchmarkHWCompress4KB(b *testing.B) {
+	in := corpus.Generate(corpus.HTML, 4096, 1)
+	enc := NewHWEncoder(PaperHWConfig())
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		enc.Compress(in)
+	}
+}
+
+func BenchmarkDecompress4KB(b *testing.B) {
+	c := Compress(corpus.Generate(corpus.HTML, 4096, 1))
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Decompress(c)
+	}
+}

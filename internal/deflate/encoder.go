@@ -1,0 +1,352 @@
+package deflate
+
+// Software Deflate encoder: greedy hash-chain LZ77 with lazy matching,
+// emitting whichever of stored/fixed/dynamic Huffman blocks is smallest.
+// This is the "ULP processed on the CPU" baseline of the paper's
+// evaluation.
+
+const (
+	hashBits  = 15
+	hashSize  = 1 << hashBits
+	hashShift = (32 - hashBits)
+)
+
+// EncoderOptions tunes the software encoder.
+type EncoderOptions struct {
+	// MaxChainLen bounds hash-chain traversal per position; higher finds
+	// better matches at more CPU cost. <= 0 selects the default (64).
+	MaxChainLen int
+	// Lazy enables one-step lazy matching (defer a match if the next
+	// position matches longer), as zlib levels >= 4 do.
+	Lazy bool
+	// WindowSize bounds match distances; <= 0 selects MaxDistance.
+	// The hardware-style encoder uses 4096 (§V-B); the software default
+	// is the full 32KB RFC window.
+	WindowSize int
+}
+
+// Compress deflates src with default options (lazy matching, 64-deep
+// chains, 32KB window) into a single final block.
+func Compress(src []byte) []byte {
+	return CompressOpts(src, EncoderOptions{Lazy: true})
+}
+
+// CompressOpts deflates src with the given options into one final block.
+func CompressOpts(src []byte, o EncoderOptions) []byte {
+	if o.MaxChainLen <= 0 {
+		o.MaxChainLen = 64
+	}
+	if o.WindowSize <= 0 || o.WindowSize > MaxDistance {
+		o.WindowSize = MaxDistance
+	}
+	tokens := lz77(src, o)
+	var w bitWriter
+	writeBlock(&w, tokens, src, true)
+	return w.bytes()
+}
+
+func hash4(b []byte) uint32 {
+	// 4-byte rolling hash (multiplicative); requires len(b) >= 4.
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return (v * 2654435761) >> hashShift
+}
+
+// lz77 produces the token stream for src using hash chains.
+func lz77(src []byte, o EncoderOptions) []token {
+	var tokens []token
+	if len(src) == 0 {
+		return tokens
+	}
+	head := make([]int32, hashSize)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+
+	insert := func(pos int) {
+		if pos+4 > len(src) {
+			return
+		}
+		h := hash4(src[pos:])
+		if head[h] == int32(pos) {
+			return // already at the head; avoid a self-referential chain
+		}
+		prev[pos] = head[h]
+		head[h] = int32(pos)
+	}
+
+	findMatch := func(pos int) (length, dist int) {
+		if pos+MinMatch > len(src) || pos+4 > len(src) {
+			return 0, 0
+		}
+		limit := pos - o.WindowSize
+		if limit < 0 {
+			limit = 0
+		}
+		maxLen := len(src) - pos
+		if maxLen > MaxMatch {
+			maxLen = MaxMatch
+		}
+		cand := head[hash4(src[pos:])]
+		best, bestDist := 0, 0
+		for chain := 0; cand >= int32(limit) && cand >= 0 && chain < o.MaxChainLen; chain++ {
+			c := int(cand)
+			if c >= pos {
+				cand = prev[c]
+				continue
+			}
+			if src[c+best] == src[pos+best] || best == 0 {
+				l := matchLen(src, c, pos, maxLen)
+				if l > best {
+					best, bestDist = l, pos-c
+					if l >= maxLen {
+						break
+					}
+				}
+			}
+			cand = prev[c]
+		}
+		if best < MinMatch {
+			return 0, 0
+		}
+		return best, bestDist
+	}
+
+	pos := 0
+	for pos < len(src) {
+		l, d := findMatch(pos)
+		if l == 0 {
+			tokens = append(tokens, literalToken(src[pos]))
+			insert(pos)
+			pos++
+			continue
+		}
+		if o.Lazy && pos+1 < len(src) {
+			insert(pos)
+			l2, d2 := findMatch(pos + 1)
+			if l2 > l {
+				// Defer: emit current byte as literal, take the longer
+				// match at pos+1 on the next iteration.
+				tokens = append(tokens, literalToken(src[pos]))
+				pos++
+				l, d = l2, d2
+			}
+			tokens = append(tokens, matchToken(l, d))
+			for i := 0; i < l; i++ {
+				insert(pos + i)
+			}
+			pos += l
+			continue
+		}
+		tokens = append(tokens, matchToken(l, d))
+		for i := 0; i < l; i++ {
+			insert(pos + i)
+		}
+		pos += l
+	}
+	return tokens
+}
+
+// matchLen returns the length of the common prefix of src[a:] and
+// src[b:], capped at maxLen. a < b.
+func matchLen(src []byte, a, b, maxLen int) int {
+	n := 0
+	for n < maxLen && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// writeBlock emits one block, choosing the cheapest of the three block
+// types for this token stream. src is the original uncompressed data of
+// the block (needed for stored fallback).
+func writeBlock(w *bitWriter, tokens []token, src []byte, final bool) {
+	finalBit := uint32(0)
+	if final {
+		finalBit = 1
+	}
+
+	litFreq, distFreq := tokenFrequencies(tokens)
+	dynLit := buildLengths(litFreq, maxCodeLen)
+	dynDist := buildLengths(distFreq, maxCodeLen)
+	dynHeaderBits, hlit, hdist, hclen, clSyms, clLens, clCodes := dynamicHeader(dynLit, dynDist)
+	dynCodes, err1 := canonicalCodes(dynLit)
+	dynDistCodes, err2 := canonicalCodes(dynDist)
+
+	fixedLit, _ := canonicalCodes(fixedLitLenLengths())
+	fixedDist, _ := canonicalCodes(fixedDistLengths())
+
+	costWith := func(lit, dist []huffCode) int {
+		bits := 0
+		for sym, f := range litFreq {
+			if f > 0 {
+				bits += f * int(lit[sym].len)
+			}
+		}
+		for sym, f := range distFreq {
+			if f > 0 {
+				bits += f * int(dist[sym].len)
+			}
+		}
+		for _, t := range tokens {
+			if !t.isLiteral() {
+				bits += int(lengthExtra[lengthSym[t.len]])
+				bits += int(distExtra[distCode(int(t.dist))])
+			}
+		}
+		return bits
+	}
+	fixedBits := 3 + costWith(fixedLit, fixedDist)
+	dynBits := 3 + dynHeaderBits + costWith(dynCodes, dynDistCodes)
+	storedBits := 3 + 16 + 16 + 8*len(src) + 7 // worst-case alignment padding
+
+	switch {
+	case err1 == nil && err2 == nil && dynBits < fixedBits && dynBits < storedBits:
+		w.writeBits(finalBit, 1)
+		w.writeBits(2, 2) // BTYPE=10 dynamic
+		w.writeBits(uint32(hlit-257), 5)
+		w.writeBits(uint32(hdist-1), 5)
+		w.writeBits(uint32(hclen-4), 4)
+		for i := 0; i < hclen; i++ {
+			w.writeBits(uint32(clLens[clOrder[i]]), 3)
+		}
+		for _, s := range clSyms {
+			c := clCodes[s.sym]
+			w.writeCode(c.code, uint(c.len))
+			if s.extraBits > 0 {
+				w.writeBits(uint32(s.extraVal), uint(s.extraBits))
+			}
+		}
+		writeTokens(w, tokens, dynCodes, dynDistCodes)
+	case fixedBits <= storedBits:
+		w.writeBits(finalBit, 1)
+		w.writeBits(1, 2) // BTYPE=01 fixed
+		writeTokens(w, tokens, fixedLit, fixedDist)
+	default:
+		writeStored(w, src, final)
+	}
+}
+
+// writeStored emits a stored (BTYPE=00) block; RFC caps stored blocks at
+// 65535 bytes so long inputs are split.
+func writeStored(w *bitWriter, src []byte, final bool) {
+	for first := true; first || len(src) > 0; first = false {
+		n := len(src)
+		if n > 65535 {
+			n = 65535
+		}
+		last := final && n == len(src)
+		fb := uint32(0)
+		if last {
+			fb = 1
+		}
+		w.writeBits(fb, 1)
+		w.writeBits(0, 2)
+		w.alignByte()
+		w.writeBits(uint32(n), 16)
+		w.writeBits(uint32(n)^0xffff, 16)
+		w.alignByte()
+		w.writeBytes(src[:n])
+		src = src[n:]
+		if n == 0 {
+			break
+		}
+	}
+}
+
+// clOrder is the fixed transmission order of code length code lengths.
+var clOrder = [19]int{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+
+// clSymbol is one symbol of the RLE-compressed code length sequence.
+type clSymbol struct {
+	sym       int
+	extraBits int
+	extraVal  int
+}
+
+// dynamicHeader builds the dynamic block header pieces: the bit cost,
+// HLIT/HDIST/HCLEN, the RLE symbol stream, and the code length code.
+func dynamicHeader(litLens, distLens []uint8) (bits, hlit, hdist, hclen int, syms []clSymbol, clLens []uint8, clCodes []huffCode) {
+	hlit = numLitLenSyms
+	for hlit > 257 && litLens[hlit-1] == 0 {
+		hlit--
+	}
+	hdist = numDistSyms
+	for hdist > 1 && distLens[hdist-1] == 0 {
+		hdist--
+	}
+	seq := make([]uint8, 0, hlit+hdist)
+	seq = append(seq, litLens[:hlit]...)
+	seq = append(seq, distLens[:hdist]...)
+
+	syms = rleCodeLengths(seq)
+	clFreq := make([]int, 19)
+	for _, s := range syms {
+		clFreq[s.sym]++
+	}
+	clLens = buildLengths(clFreq, 7)
+	clCodes, _ = canonicalCodes(clLens)
+
+	hclen = 19
+	for hclen > 4 && clLens[clOrder[hclen-1]] == 0 {
+		hclen--
+	}
+	bits = 5 + 5 + 4 + 3*hclen
+	for _, s := range syms {
+		bits += int(clLens[s.sym]) + s.extraBits
+	}
+	return
+}
+
+// rleCodeLengths run-length encodes a code length sequence with symbols
+// 16 (repeat previous 3-6), 17 (zeros 3-10), 18 (zeros 11-138).
+func rleCodeLengths(seq []uint8) []clSymbol {
+	var out []clSymbol
+	i := 0
+	for i < len(seq) {
+		v := seq[i]
+		run := 1
+		for i+run < len(seq) && seq[i+run] == v {
+			run++
+		}
+		if v == 0 {
+			for run >= 11 {
+				n := run
+				if n > 138 {
+					n = 138
+				}
+				out = append(out, clSymbol{sym: 18, extraBits: 7, extraVal: n - 11})
+				run -= n
+				i += n
+			}
+			if run >= 3 {
+				out = append(out, clSymbol{sym: 17, extraBits: 3, extraVal: run - 3})
+				i += run
+				run = 0
+			}
+			for ; run > 0; run-- {
+				out = append(out, clSymbol{sym: 0})
+				i++
+			}
+			continue
+		}
+		// Non-zero: emit the value once, then repeats of 3-6.
+		out = append(out, clSymbol{sym: int(v)})
+		i++
+		run--
+		for run >= 3 {
+			n := run
+			if n > 6 {
+				n = 6
+			}
+			out = append(out, clSymbol{sym: 16, extraBits: 2, extraVal: n - 3})
+			run -= n
+			i += n
+		}
+		for ; run > 0; run-- {
+			out = append(out, clSymbol{sym: int(v)})
+			i++
+		}
+	}
+	return out
+}

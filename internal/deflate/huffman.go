@@ -1,0 +1,273 @@
+package deflate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// maxCodeLen is the longest Huffman code length Deflate permits.
+const maxCodeLen = 15
+
+// huffCode is one symbol's canonical code assignment.
+type huffCode struct {
+	code uint32 // canonical value, MSB-first semantics
+	len  uint8  // 0 means the symbol is unused
+}
+
+// canonicalCodes assigns canonical Huffman codes to the given code
+// lengths per RFC 1951 §3.2.2.
+func canonicalCodes(lengths []uint8) ([]huffCode, error) {
+	var blCount [maxCodeLen + 1]int
+	for _, l := range lengths {
+		if l > maxCodeLen {
+			return nil, fmt.Errorf("deflate: code length %d exceeds %d", l, maxCodeLen)
+		}
+		blCount[l]++
+	}
+	blCount[0] = 0
+	var nextCode [maxCodeLen + 2]uint32
+	code := uint32(0)
+	for bits := 1; bits <= maxCodeLen; bits++ {
+		code = (code + uint32(blCount[bits-1])) << 1
+		nextCode[bits] = code
+	}
+	// Over-subscription check: the Kraft sum must not exceed 1.
+	kraft := 0
+	for bits := 1; bits <= maxCodeLen; bits++ {
+		kraft += blCount[bits] << (maxCodeLen - bits)
+	}
+	if kraft > 1<<maxCodeLen {
+		return nil, errors.New("deflate: over-subscribed code lengths")
+	}
+	out := make([]huffCode, len(lengths))
+	for i, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		out[i] = huffCode{code: nextCode[l], len: l}
+		nextCode[l]++
+	}
+	return out, nil
+}
+
+// buildLengths computes length-limited Huffman code lengths for the
+// given symbol frequencies using package-merge-free heap construction
+// followed by depth limiting (the simple "flatten overlong codes"
+// adjustment, which preserves prefix-freeness via canonical
+// reassignment). Symbols with zero frequency get length 0.
+func buildLengths(freq []int, limit int) []uint8 {
+	n := len(freq)
+	lengths := make([]uint8, n)
+	type node struct {
+		weight      int
+		sym         int // -1 for internal
+		left, right int // indices into nodes
+	}
+	var nodes []node
+	var heap []int // node indices, min-heap by weight
+
+	push := func(idx int) {
+		heap = append(heap, idx)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if nodes[heap[p]].weight <= nodes[heap[i]].weight {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && nodes[heap[l]].weight < nodes[heap[small]].weight {
+				small = l
+			}
+			if r < len(heap) && nodes[heap[r]].weight < nodes[heap[small]].weight {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+
+	live := 0
+	for sym, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, node{weight: f, sym: sym, left: -1, right: -1})
+			push(len(nodes) - 1)
+			live++
+		}
+	}
+	switch live {
+	case 0:
+		return lengths
+	case 1:
+		// Deflate requires at least a 1-bit code for a lone symbol.
+		nodes[heap[0]].weight = 0
+		lengths[nodes[heap[0]].sym] = 1
+		return lengths
+	}
+	for len(heap) > 1 {
+		a, b := pop(), pop()
+		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
+		push(len(nodes) - 1)
+	}
+	// Assign depths.
+	root := heap[0]
+	type visit struct{ idx, depth int }
+	stack := []visit{{root, 0}}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[v.idx]
+		if nd.sym >= 0 {
+			d := v.depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[nd.sym] = uint8(d)
+			continue
+		}
+		stack = append(stack, visit{nd.left, v.depth + 1}, visit{nd.right, v.depth + 1})
+	}
+	limitLengths(lengths, limit)
+	return lengths
+}
+
+// limitLengths enforces a maximum code length by shortening overlong
+// codes and re-balancing so the Kraft inequality still holds with
+// equality on the used portion.
+func limitLengths(lengths []uint8, limit int) {
+	over := false
+	for _, l := range lengths {
+		if int(l) > limit {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	// Collect used symbols sorted by (length, symbol).
+	type sl struct {
+		sym int
+		len int
+	}
+	var used []sl
+	for sym, l := range lengths {
+		if l > 0 {
+			ln := int(l)
+			if ln > limit {
+				ln = limit
+			}
+			used = append(used, sl{sym, ln})
+		}
+	}
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].len != used[j].len {
+			return used[i].len < used[j].len
+		}
+		return used[i].sym < used[j].sym
+	})
+	// Repair Kraft: K = sum 2^(limit-len) must be <= 2^limit.
+	kraft := 0
+	for _, u := range used {
+		kraft += 1 << (limit - u.len)
+	}
+	budget := 1 << limit
+	// Lengthen the shortest-excess codes until within budget.
+	for kraft > budget {
+		// Find a symbol with len < limit whose lengthening helps most:
+		// take the one with the largest current share (smallest len).
+		best := -1
+		for i, u := range used {
+			if u.len < limit && (best == -1 || u.len < used[best].len) {
+				best = i
+			}
+		}
+		if best == -1 {
+			panic("deflate: cannot satisfy length limit")
+		}
+		kraft -= 1 << (limit - used[best].len)
+		used[best].len++
+		kraft += 1 << (limit - used[best].len)
+	}
+	for _, u := range used {
+		lengths[u.sym] = uint8(u.len)
+	}
+}
+
+// decodeTable is a bit-serial canonical Huffman decoder: firstCode and
+// firstSym index codes by length, symbols are listed in canonical order.
+type decodeTable struct {
+	counts  [maxCodeLen + 1]int
+	symbols []int
+}
+
+// newDecodeTable builds the decoder for the given code lengths.
+func newDecodeTable(lengths []uint8) (*decodeTable, error) {
+	t := &decodeTable{}
+	for _, l := range lengths {
+		if l > maxCodeLen {
+			return nil, fmt.Errorf("deflate: code length %d too long", l)
+		}
+		if l > 0 {
+			t.counts[l]++
+		}
+	}
+	// Reject over-subscribed tables (incomplete ones are legal for
+	// distance codes per the RFC errata, caught at use time instead).
+	kraft := 0
+	for bits := 1; bits <= maxCodeLen; bits++ {
+		kraft += t.counts[bits] << (maxCodeLen - bits)
+	}
+	if kraft > 1<<maxCodeLen {
+		return nil, errors.New("deflate: over-subscribed decode table")
+	}
+	var offs [maxCodeLen + 2]int
+	for l := 1; l <= maxCodeLen; l++ {
+		offs[l+1] = offs[l] + t.counts[l]
+	}
+	t.symbols = make([]int, offs[maxCodeLen+1])
+	next := offs
+	for sym, l := range lengths {
+		if l > 0 {
+			t.symbols[next[l]] = sym
+			next[l]++
+		}
+	}
+	return t, nil
+}
+
+// decode reads one symbol from the bit reader.
+func (t *decodeTable) decode(r *bitReader) (int, error) {
+	code, first, index := 0, 0, 0
+	for l := 1; l <= maxCodeLen; l++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code |= int(b)
+		count := t.counts[l]
+		if code-first < count {
+			return t.symbols[index+code-first], nil
+		}
+		index += count
+		first = (first + count) << 1
+		code <<= 1
+	}
+	return 0, errors.New("deflate: invalid Huffman code")
+}

@@ -1,0 +1,243 @@
+package deflate
+
+// Hardware-style Deflate encoder: a functional model of SmartDIMM's
+// Deflate DSA (§V-B), specialized from the Fowers et al. FPGA pipeline:
+//
+//   - data is consumed in 64-byte chunks, one per buffer-device clock,
+//     best effort;
+//   - match candidates live in an N-bank Config Memory hash table with a
+//     bounded number of ports per bank; when more positions in the
+//     current parallelization window hash to one bank than it has ports,
+//     the excess candidates are DROPPED (compression ratio is traded for
+//     deterministic single-cycle latency);
+//   - the history window is 4KB (the hash table "covers a 4KB window"),
+//     and when the table is full the oldest substring is replaced —
+//     modelled by direct-mapped overwrite, hardware's oldest-wins
+//     behaviour at a fixed table size;
+//   - the parallelization window is 8 bytes: the pipeline examines 8
+//     consecutive positions per stage and selects non-overlapping
+//     matches within the window greedily.
+//
+// The emitted stream uses fixed Huffman codes, giving the deterministic
+// output latency the paper's design choices aim for.
+
+// HWConfig parameterizes the DSA model. The zero value is invalid; use
+// PaperHWConfig for the paper's configuration, or adjust fields for the
+// §V-B ablation benches.
+type HWConfig struct {
+	// ParallelWindow is the number of consecutive byte positions examined
+	// per pipeline stage (the paper uses 8).
+	ParallelWindow int
+	// Banks is the number of Config Memory banks holding candidates (8).
+	Banks int
+	// PortsPerBank is how many candidate reads/updates one bank serves
+	// per cycle; excess candidates in a window are dropped (8).
+	PortsPerBank int
+	// WindowSize is the history window in bytes (4096).
+	WindowSize int
+	// TableEntries is the total number of candidate slots across banks;
+	// a full table replaces the oldest entry (per bank, direct-mapped).
+	TableEntries int
+}
+
+// PaperHWConfig returns the §V-B configuration: 8-byte parallelization
+// window, 8 banks x 8 ports, 4KB history window.
+func PaperHWConfig() HWConfig {
+	return HWConfig{
+		ParallelWindow: 8,
+		Banks:          8,
+		PortsPerBank:   8,
+		WindowSize:     4096,
+		TableEntries:   4096,
+	}
+}
+
+// HWStats reports the DSA-internal events the ablation benches examine.
+type HWStats struct {
+	Cycles          uint64 // 64-byte chunk cycles consumed
+	BankConflicts   uint64 // candidate lookups dropped due to port limits
+	CandidateProbes uint64 // total candidate lookups attempted
+	Matches         uint64 // matches emitted
+	Literals        uint64 // literals emitted
+	Replaced        uint64 // hash entries overwritten (oldest replaced)
+}
+
+// HWEncoder is a reusable hardware-style Deflate encoder instance.
+type HWEncoder struct {
+	cfg   HWConfig
+	stats HWStats
+}
+
+// NewHWEncoder validates the configuration.
+func NewHWEncoder(cfg HWConfig) *HWEncoder {
+	if cfg.ParallelWindow <= 0 {
+		cfg.ParallelWindow = 8
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 8
+	}
+	if cfg.PortsPerBank <= 0 {
+		cfg.PortsPerBank = 8
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 4096
+	}
+	if cfg.TableEntries <= 0 {
+		cfg.TableEntries = 4096
+	}
+	return &HWEncoder{cfg: cfg}
+}
+
+// Stats returns the accumulated DSA statistics.
+func (e *HWEncoder) Stats() HWStats { return e.stats }
+
+// ResetStats zeroes the statistics.
+func (e *HWEncoder) ResetStats() { e.stats = HWStats{} }
+
+// ChunkSize is the data consumed per DSA cycle (one DDR burst).
+const ChunkSize = 64
+
+// Compress deflates src as the DSA would, returning an RFC 1951 stream
+// (single final block, fixed Huffman codes). The paper compresses at 4KB
+// page granularity; larger inputs are legal here but the history window
+// still never exceeds the configured size.
+func (e *HWEncoder) Compress(src []byte) []byte {
+	tokens := e.lz77HW(src)
+	var w bitWriter
+	fixedLit, _ := canonicalCodes(fixedLitLenLengths())
+	fixedDist, _ := canonicalCodes(fixedDistLengths())
+	w.writeBits(1, 1) // BFINAL
+	w.writeBits(1, 2) // BTYPE=01 fixed
+	writeTokens(&w, tokens, fixedLit, fixedDist)
+	return w.bytes()
+}
+
+// hwEntry is one candidate slot: the position of a previous occurrence.
+type hwEntry struct {
+	pos   int32
+	valid bool
+}
+
+// lz77HW runs the banked best-effort match pipeline.
+func (e *HWEncoder) lz77HW(src []byte) []token {
+	var tokens []token
+	if len(src) == 0 {
+		return tokens
+	}
+	cfg := e.cfg
+	entriesPerBank := cfg.TableEntries / cfg.Banks
+	if entriesPerBank == 0 {
+		entriesPerBank = 1
+	}
+	table := make([][]hwEntry, cfg.Banks)
+	for b := range table {
+		table[b] = make([]hwEntry, entriesPerBank)
+	}
+
+	bankOf := func(h uint32) int { return int(h) % cfg.Banks }
+	slotOf := func(h uint32) int { return int(h/uint32(cfg.Banks)) % entriesPerBank }
+
+	pos := 0
+	for pos < len(src) {
+		// One pipeline stage: examine up to ParallelWindow positions.
+		winEnd := pos + cfg.ParallelWindow
+		if winEnd > len(src) {
+			winEnd = len(src)
+		}
+		if (pos % ChunkSize) == 0 {
+			e.stats.Cycles++
+		}
+		// Per-window bank port accounting.
+		portUse := make([]int, cfg.Banks)
+
+		type cand struct {
+			at   int // position in src
+			prev int // candidate previous occurrence, -1 if none
+		}
+		cands := make([]cand, 0, cfg.ParallelWindow)
+		for p := pos; p < winEnd; p++ {
+			if p+4 > len(src) {
+				cands = append(cands, cand{at: p, prev: -1})
+				continue
+			}
+			h := hash4(src[p:])
+			b := bankOf(h)
+			s := slotOf(h)
+			e.stats.CandidateProbes++
+			if portUse[b] >= cfg.PortsPerBank {
+				// Bank conflict: candidate dropped, no table update.
+				e.stats.BankConflicts++
+				cands = append(cands, cand{at: p, prev: -1})
+				continue
+			}
+			portUse[b]++
+			entry := table[b][s]
+			prevPos := -1
+			if entry.valid && int(entry.pos) < p && p-int(entry.pos) <= cfg.WindowSize {
+				prevPos = int(entry.pos)
+			}
+			if entry.valid && int(entry.pos) != p {
+				e.stats.Replaced++
+			}
+			table[b][s] = hwEntry{pos: int32(p), valid: true}
+			cands = append(cands, cand{at: p, prev: prevPos})
+		}
+
+		// Greedy non-overlapping match selection within the window.
+		consumed := pos
+		for _, c := range cands {
+			if c.at < consumed {
+				continue // covered by a previous match in this window
+			}
+			// Emit literals for any gap (cannot happen with contiguous
+			// windows, but keep the invariant explicit).
+			for consumed < c.at {
+				tokens = append(tokens, literalToken(src[consumed]))
+				e.stats.Literals++
+				consumed++
+			}
+			if c.prev < 0 {
+				tokens = append(tokens, literalToken(src[c.at]))
+				e.stats.Literals++
+				consumed++
+				continue
+			}
+			maxLen := len(src) - c.at
+			if maxLen > MaxMatch {
+				maxLen = MaxMatch
+			}
+			l := matchLen(src, c.prev, c.at, maxLen)
+			if l < MinMatch {
+				tokens = append(tokens, literalToken(src[c.at]))
+				e.stats.Literals++
+				consumed++
+				continue
+			}
+			tokens = append(tokens, matchToken(l, c.at-c.prev))
+			e.stats.Matches++
+			consumed += l
+		}
+		if consumed < winEnd {
+			// Trailing positions not consumed (e.g. dropped candidates at
+			// the very end) were already emitted as literals above; this
+			// branch is unreachable but kept as a safety net.
+			for consumed < winEnd {
+				tokens = append(tokens, literalToken(src[consumed]))
+				e.stats.Literals++
+				consumed++
+			}
+		}
+		pos = consumed
+	}
+	return tokens
+}
+
+// CompressionRatio is a convenience helper returning the achieved
+// original/compressed size ratio for this encoder on src.
+func (e *HWEncoder) CompressionRatio(src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	out := e.Compress(src)
+	return float64(len(src)) / float64(len(out))
+}

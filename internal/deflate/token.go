@@ -1,0 +1,169 @@
+package deflate
+
+// LZ77 token stream representation shared by the software and
+// hardware-style encoders.
+
+// Match-length limits of Deflate.
+const (
+	MinMatch = 3
+	MaxMatch = 258
+	// MaxDistance is the largest backward distance RFC 1951 allows.
+	MaxDistance = 32768
+
+	endBlockSym   = 256
+	numLitLenSyms = 286
+	numDistSyms   = 30
+)
+
+// token is either a literal byte (dist == 0) or a match.
+type token struct {
+	lit  byte
+	len  uint16 // match length, MinMatch..MaxMatch
+	dist uint16 // match distance, 1..MaxDistance; 0 => literal
+}
+
+func literalToken(b byte) token { return token{lit: b} }
+func matchToken(l, d int) token { return token{len: uint16(l), dist: uint16(d)} }
+func (t token) isLiteral() bool { return t.dist == 0 }
+
+func (t token) expandedLen() int {
+	if t.isLiteral() {
+		return 1
+	}
+	return int(t.len)
+}
+
+// lengthCode maps a match length (3..258) to its litlen symbol, extra
+// bit count, and extra bit value. Tables generated at init per RFC 1951
+// §3.2.5.
+var (
+	lengthSym   [MaxMatch + 1]uint16
+	lengthExtra [numLitLenSyms]uint8
+	lengthBase  [numLitLenSyms]uint16
+	distExtra   [numDistSyms]uint8
+	distBase    [numDistSyms]uint32
+)
+
+func init() {
+	// Length codes 257..285.
+	sym, base := 257, 3
+	group := []struct {
+		count, extra int
+	}{
+		{8, 0}, {4, 1}, {4, 2}, {4, 3}, {4, 4}, {4, 5},
+	}
+	for _, g := range group {
+		for i := 0; i < g.count; i++ {
+			lengthExtra[sym] = uint8(g.extra)
+			lengthBase[sym] = uint16(base)
+			span := 1 << g.extra
+			for l := base; l < base+span && l <= MaxMatch; l++ {
+				lengthSym[l] = uint16(sym)
+			}
+			base += span
+			sym++
+		}
+	}
+	// Code 285 is the special single-value 258 with 0 extra bits.
+	lengthExtra[285] = 0
+	lengthBase[285] = 258
+	lengthSym[258] = 285
+
+	// Distance codes 0..29.
+	dbase := 1
+	for code := 0; code < numDistSyms; code++ {
+		extra := 0
+		if code >= 2 {
+			extra = code/2 - 1
+		}
+		distExtra[code] = uint8(extra)
+		distBase[code] = uint32(dbase)
+		dbase += 1 << extra
+	}
+}
+
+// distCode maps a distance (1..32768) to its distance symbol.
+func distCode(d int) int {
+	// Binary search over the 30 bases.
+	lo, hi := 0, numDistSyms-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(distBase[mid]) <= d {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// fixedLitLenLengths returns the code lengths of the fixed litlen code
+// (RFC 1951 §3.2.6).
+func fixedLitLenLengths() []uint8 {
+	l := make([]uint8, 288)
+	for i := 0; i <= 143; i++ {
+		l[i] = 8
+	}
+	for i := 144; i <= 255; i++ {
+		l[i] = 9
+	}
+	for i := 256; i <= 279; i++ {
+		l[i] = 7
+	}
+	for i := 280; i <= 287; i++ {
+		l[i] = 8
+	}
+	return l
+}
+
+// fixedDistLengths returns the code lengths of the fixed distance code.
+func fixedDistLengths() []uint8 {
+	l := make([]uint8, 30)
+	for i := range l {
+		l[i] = 5
+	}
+	return l
+}
+
+// writeTokens emits the token stream plus end-of-block with the given
+// codes.
+func writeTokens(w *bitWriter, tokens []token, lit, dist []huffCode) {
+	for _, t := range tokens {
+		if t.isLiteral() {
+			c := lit[t.lit]
+			w.writeCode(c.code, uint(c.len))
+			continue
+		}
+		sym := lengthSym[t.len]
+		c := lit[sym]
+		w.writeCode(c.code, uint(c.len))
+		if e := lengthExtra[sym]; e > 0 {
+			w.writeBits(uint32(t.len-lengthBase[sym]), uint(e))
+		}
+		dsym := distCode(int(t.dist))
+		dc := dist[dsym]
+		w.writeCode(dc.code, uint(dc.len))
+		if e := distExtra[dsym]; e > 0 {
+			w.writeBits(uint32(t.dist)-distBase[dsym], uint(e))
+		}
+	}
+	eob := lit[endBlockSym]
+	w.writeCode(eob.code, uint(eob.len))
+}
+
+// tokenFrequencies tallies litlen and distance symbol frequencies for
+// dynamic Huffman construction (end-of-block included).
+func tokenFrequencies(tokens []token) (litFreq, distFreq []int) {
+	litFreq = make([]int, numLitLenSyms)
+	distFreq = make([]int, numDistSyms)
+	for _, t := range tokens {
+		if t.isLiteral() {
+			litFreq[t.lit]++
+		} else {
+			litFreq[lengthSym[t.len]]++
+			distFreq[distCode(int(t.dist))]++
+		}
+	}
+	litFreq[endBlockSym]++
+	return
+}

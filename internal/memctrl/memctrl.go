@@ -1,0 +1,371 @@
+// Package memctrl models a DDR4 memory controller for one channel: bank
+// state tracking with open-page policy, activate/precharge scheduling,
+// CAS-to-CAS and bus-turnaround spacing, a batched write-pending queue,
+// and ALERT_N retry handling.
+//
+// Three behaviours matter to the paper and are modelled explicitly:
+//
+//  1. Write batching: stores drain to the DIMM in batches, so the first
+//     wrCAS of a destination buffer trails the first rdCAS of its source
+//     buffer by well over a microsecond (§IV-D) — the slack that lets
+//     the DSA finish a cacheline before its result is needed.
+//  2. ALERT_N: when the DIMM (SmartDIMM, S13 in Fig. 6) signals that a
+//     rdCAS hit a cacheline whose computation is pending, the controller
+//     retries the read after a fixed penalty.
+//  3. No store-to-load forwarding: a read that matches a queued write
+//     forces a drain instead of forwarding. For SmartDIMM destination
+//     buffers forwarding would return the untransformed copy; draining
+//     preserves the paper's semantics (flush + read observes the DIMM).
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// Request directions for statistics.
+const (
+	dirNone = iota
+	dirRead
+	dirWrite
+)
+
+// Config tunes the controller model.
+type Config struct {
+	Timing dram.Timing
+	// WriteQueueDepth is the write-pending-queue capacity; the queue
+	// drains when DrainThreshold is reached (high-water-mark policy).
+	WriteQueueDepth int
+	DrainThreshold  int
+	// AlertRetryCycles is the penalty before retrying a rdCAS that was
+	// answered with ALERT_N.
+	AlertRetryCycles int
+	// MaxAlertRetries bounds retries before giving up with an error.
+	MaxAlertRetries int
+}
+
+// DefaultConfig returns a DDR4-3200 controller with a 64-entry WPQ
+// draining at 48 (values in the range of Skylake-SP documentation).
+func DefaultConfig() Config {
+	return Config{
+		Timing:           dram.DDR4_3200(),
+		WriteQueueDepth:  64,
+		DrainThreshold:   48,
+		AlertRetryCycles: 100,
+		MaxAlertRetries:  64,
+	}
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	RowHits     uint64
+	RowMisses   uint64 // closed bank (ACT only)
+	RowConflict uint64 // wrong row open (PRE+ACT)
+	Alerts      uint64
+	Drains      uint64 // write-queue drain events
+	Turnarounds uint64 // bus direction switches
+	BusyCycles  int64  // data-bus occupied cycles
+}
+
+type bankState struct {
+	openRow    int32
+	readyCycle int64 // earliest next command issue for this bank
+	actCycle   int64 // time of last ACT, for tRAS
+}
+
+type pendingWrite struct {
+	addr  uint64
+	core  int
+	data  [dram.CachelineSize]byte
+	atCyc int64
+}
+
+// Controller drives one dram.Module (one channel).
+type Controller struct {
+	cfg      Config
+	mod      dram.Module
+	banks    []bankState
+	wq       []pendingWrite
+	now      int64 // controller clock, DRAM cycles
+	busDir   int
+	busReady int64
+	st       Stats
+	// Trace, when non-nil, records every CAS issued on the channel.
+	Trace *stats.CASTrace
+	// Meter, when non-nil, accounts data-bus bytes for bandwidth stats.
+	Meter *stats.BandwidthMeter
+}
+
+// New builds a controller over the module.
+func New(cfg Config, mod dram.Module) *Controller {
+	if cfg.WriteQueueDepth <= 0 {
+		cfg.WriteQueueDepth = 64
+	}
+	if cfg.DrainThreshold <= 0 || cfg.DrainThreshold > cfg.WriteQueueDepth {
+		cfg.DrainThreshold = cfg.WriteQueueDepth * 3 / 4
+	}
+	if cfg.AlertRetryCycles <= 0 {
+		cfg.AlertRetryCycles = 100
+	}
+	if cfg.MaxAlertRetries <= 0 {
+		cfg.MaxAlertRetries = 64
+	}
+	geo := mod.Mapper().Geometry()
+	banks := make([]bankState, geo.TotalBanks())
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	return &Controller{cfg: cfg, mod: mod, banks: banks}
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.st }
+
+// Now returns the controller clock in DRAM cycles.
+func (c *Controller) Now() int64 { return c.now }
+
+// NowPs returns the controller clock in picoseconds.
+func (c *Controller) NowPs() int64 { return c.now * c.cfg.Timing.TCKps }
+
+// CycleToPs converts controller cycles to picoseconds.
+func (c *Controller) CycleToPs(cyc int64) int64 { return cyc * c.cfg.Timing.TCKps }
+
+// AdvanceTo moves the controller clock forward (never backward).
+func (c *Controller) AdvanceTo(cycle int64) {
+	if cycle > c.now {
+		c.now = cycle
+	}
+}
+
+// PendingWrites returns the current write-queue depth.
+func (c *Controller) PendingWrites() int { return len(c.wq) }
+
+// prepareBank issues PRE/ACT as needed and returns the cycle at which a
+// CAS to (cmd) may issue, updating bank state.
+func (c *Controller) prepareBank(cmd dram.Command) (int64, error) {
+	t := c.cfg.Timing
+	idx := c.mod.Mapper().BankIndex(cmd.Rank, cmd.BG, cmd.BA)
+	b := &c.banks[idx]
+	at := c.now
+	if b.readyCycle > at {
+		at = b.readyCycle
+	}
+	switch {
+	case b.openRow == int32(cmd.Row):
+		c.st.RowHits++
+	case b.openRow == -1:
+		c.st.RowMisses++
+		act := cmd
+		act.Kind = dram.CmdACT
+		if _, err := c.mod.HandleCommand(at, act, nil, nil); err != nil {
+			return 0, err
+		}
+		b.actCycle = at
+		at += int64(t.TRCD)
+		b.openRow = int32(cmd.Row)
+	default:
+		c.st.RowConflict++
+		// Respect tRAS before precharging.
+		if min := b.actCycle + int64(t.TRAS); at < min {
+			at = min
+		}
+		pre := cmd
+		pre.Kind = dram.CmdPRE
+		if _, err := c.mod.HandleCommand(at, pre, nil, nil); err != nil {
+			return 0, err
+		}
+		at += int64(t.TRP)
+		act := cmd
+		act.Kind = dram.CmdACT
+		if _, err := c.mod.HandleCommand(at, act, nil, nil); err != nil {
+			return 0, err
+		}
+		b.actCycle = at
+		at += int64(t.TRCD)
+		b.openRow = int32(cmd.Row)
+	}
+	return at, nil
+}
+
+// reserveBus accounts bus occupancy and turnaround, returning the CAS
+// issue cycle for a burst starting no earlier than at.
+func (c *Controller) reserveBus(at int64, dir int) int64 {
+	t := c.cfg.Timing
+	if at < c.busReady {
+		at = c.busReady
+	}
+	if c.busDir != dirNone && c.busDir != dir {
+		c.st.Turnarounds++
+		if dir == dirWrite {
+			at += int64(t.TRTW)
+		} else {
+			at += int64(t.TWTR)
+		}
+	}
+	c.busDir = dir
+	c.busReady = at + int64(t.TCCD)
+	c.st.BusyCycles += int64(t.TBL)
+	return at
+}
+
+// Read fetches the 64-byte cacheline at addr. It returns the cycle at
+// which data is available. A queued write to the same line forces a
+// drain first (no forwarding; see package comment).
+func (c *Controller) Read(addr uint64, core int, dst []byte) (int64, error) {
+	line := addr &^ (dram.CachelineSize - 1)
+	for _, w := range c.wq {
+		if w.addr == line {
+			if _, err := c.DrainWrites(); err != nil {
+				return 0, err
+			}
+			break
+		}
+	}
+	cmd, err := c.mod.Mapper().Decode(line)
+	if err != nil {
+		return 0, err
+	}
+	cmd.Kind = dram.CmdRd
+	cmd.Core = core
+
+	at, err := c.prepareBank(cmd)
+	if err != nil {
+		return 0, err
+	}
+	at = c.reserveBus(at, dirRead)
+
+	t := c.cfg.Timing
+	for attempt := 0; ; attempt++ {
+		alert, err := c.mod.HandleCommand(at, cmd, nil, dst)
+		if err != nil {
+			return 0, err
+		}
+		c.recordCAS(at, stats.RdCAS, line, core)
+		if !alert {
+			done := at + int64(t.CL) + int64(t.TBL)
+			c.bankDone(cmd, at)
+			c.st.Reads++
+			if c.Meter != nil {
+				c.Meter.Record(c.CycleToPs(done), dram.CachelineSize)
+			}
+			c.now = maxI64(c.now, at)
+			return done, nil
+		}
+		c.st.Alerts++
+		if attempt >= c.cfg.MaxAlertRetries {
+			return 0, fmt.Errorf("memctrl: ALERT_N retry limit for %#x", addr)
+		}
+		at += int64(c.cfg.AlertRetryCycles)
+	}
+}
+
+// Write enqueues a 64-byte store. The queue drains at the high-water
+// mark. The returned cycle is when the store was accepted (posted).
+func (c *Controller) Write(addr uint64, core int, src []byte) (int64, error) {
+	line := addr &^ (dram.CachelineSize - 1)
+	if len(src) < dram.CachelineSize {
+		return 0, fmt.Errorf("memctrl: short write buffer")
+	}
+	// Coalesce with an existing queued write to the same line.
+	for i := range c.wq {
+		if c.wq[i].addr == line {
+			copy(c.wq[i].data[:], src)
+			return c.now, nil
+		}
+	}
+	var pw pendingWrite
+	pw.addr = line
+	pw.core = core
+	pw.atCyc = c.now
+	copy(pw.data[:], src)
+	c.wq = append(c.wq, pw)
+	if len(c.wq) >= c.cfg.DrainThreshold {
+		if _, err := c.DrainWrites(); err != nil {
+			return 0, err
+		}
+	}
+	return c.now, nil
+}
+
+// DrainWrites issues every queued write to the DIMM, returning the cycle
+// at which the last burst completes.
+func (c *Controller) DrainWrites() (int64, error) {
+	if len(c.wq) == 0 {
+		return c.now, nil
+	}
+	c.st.Drains++
+	t := c.cfg.Timing
+	var last int64
+	for _, w := range c.wq {
+		cmd, err := c.mod.Mapper().Decode(w.addr)
+		if err != nil {
+			return 0, err
+		}
+		cmd.Kind = dram.CmdWr
+		cmd.Core = w.core
+		at, err := c.prepareBank(cmd)
+		if err != nil {
+			return 0, err
+		}
+		at = c.reserveBus(at, dirWrite)
+		if _, err := c.mod.HandleCommand(at, cmd, w.data[:], nil); err != nil {
+			return 0, err
+		}
+		c.recordCAS(at, stats.WrCAS, w.addr, w.core)
+		done := at + int64(t.CWL) + int64(t.TBL)
+		c.bankDone(cmd, at)
+		c.st.Writes++
+		if c.Meter != nil {
+			c.Meter.Record(c.CycleToPs(done), dram.CachelineSize)
+		}
+		if done > last {
+			last = done
+		}
+		c.now = maxI64(c.now, at)
+	}
+	c.wq = c.wq[:0]
+	return last, nil
+}
+
+// bankDone updates per-bank availability after a CAS at cycle at.
+func (c *Controller) bankDone(cmd dram.Command, at int64) {
+	idx := c.mod.Mapper().BankIndex(cmd.Rank, cmd.BG, cmd.BA)
+	b := &c.banks[idx]
+	next := at + int64(c.cfg.Timing.TCCD)
+	if cmd.Kind == dram.CmdWr {
+		next = at + int64(c.cfg.Timing.TWR)
+	}
+	if next > b.readyCycle {
+		b.readyCycle = next
+	}
+}
+
+func (c *Controller) recordCAS(at int64, kind stats.CASKind, addr uint64, core int) {
+	if c.Trace != nil {
+		c.Trace.Record(stats.CASEvent{
+			AtPs: c.CycleToPs(at), Kind: kind, PhysAddr: addr, Core: core,
+		})
+	}
+}
+
+// ReadWriteSlackCycles estimates the controller-induced gap between a
+// read stream's first rdCAS and the corresponding writes' first wrCAS:
+// the queue must fill to the drain threshold before any wrCAS issues,
+// plus the bus turnaround (§IV-D micro-experiment).
+func (c *Controller) ReadWriteSlackCycles() int64 {
+	t := c.cfg.Timing
+	// Each queued write was produced by roughly one read burst: the gap
+	// is DrainThreshold bursts of read traffic plus the turnaround.
+	return int64(c.cfg.DrainThreshold)*int64(t.TCCD) + int64(t.TRTW)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

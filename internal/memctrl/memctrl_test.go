@@ -1,0 +1,278 @@
+package memctrl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+func newCtl(t *testing.T) (*Controller, *dram.PlainDIMM) {
+	t.Helper()
+	d, err := dram.NewPlainDIMM(dram.SmallGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(DefaultConfig(), d), d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c, _ := newCtl(t)
+	want := bytes.Repeat([]byte{0x5A}, 64)
+	if _, err := c.Write(0x1000, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if _, err := c.Read(0x1000, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read did not observe queued write (drain-on-conflict broken)")
+	}
+	st := c.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.Drains != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	c, _ := newCtl(t)
+	c.Write(0x2000, 0, bytes.Repeat([]byte{1}, 64))
+	c.Write(0x2000, 0, bytes.Repeat([]byte{2}, 64))
+	if c.PendingWrites() != 1 {
+		t.Fatalf("pending = %d, want coalesced 1", c.PendingWrites())
+	}
+	got := make([]byte, 64)
+	c.Read(0x2000, 0, got)
+	if got[0] != 2 {
+		t.Fatal("coalesced write lost the newer data")
+	}
+}
+
+func TestWriteBatching(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DrainThreshold = 8
+	d, _ := dram.NewPlainDIMM(dram.SmallGeometry())
+	c := New(cfg, d)
+	buf := bytes.Repeat([]byte{7}, 64)
+	for i := 0; i < 7; i++ {
+		c.Write(uint64(i)*64, 0, buf)
+	}
+	if c.Stats().Writes != 0 {
+		t.Fatal("writes issued before threshold")
+	}
+	c.Write(7*64, 0, buf)
+	if c.Stats().Writes != 8 || c.PendingWrites() != 0 {
+		t.Fatalf("threshold drain broken: %+v pending=%d", c.Stats(), c.PendingWrites())
+	}
+}
+
+func TestRowHitVsConflictTiming(t *testing.T) {
+	c, _ := newCtl(t)
+	buf := make([]byte, 64)
+
+	// First access to a closed bank: row miss.
+	c.Read(0, 0, buf)
+	// Same row: hit.
+	c.Read(64, 0, buf)
+	st := c.Stats()
+	if st.RowMisses != 1 || st.RowHits != 1 {
+		t.Fatalf("hit/miss accounting: %+v", st)
+	}
+	// Same bank, different row: conflict. SmallGeometry row stride:
+	// cols(128) * bg(4) * ba(4) * ranks(1) * 64B = 512KB.
+	done1, _ := c.Read(0, 0, buf)
+	done2, err := c.Read(512<<10, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().RowConflict != 1 {
+		t.Fatalf("conflict not counted: %+v", c.Stats())
+	}
+	tm := dram.DDR4_3200()
+	if done2-done1 < int64(tm.TRP+tm.TRCD) {
+		t.Fatalf("conflict latency %d cycles < tRP+tRCD", done2-done1)
+	}
+}
+
+func TestReadLatencyIncludesCL(t *testing.T) {
+	c, _ := newCtl(t)
+	buf := make([]byte, 64)
+	done, err := c.Read(0, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := dram.DDR4_3200()
+	want := int64(tm.TRCD + tm.CL + tm.TBL)
+	if done < want {
+		t.Fatalf("cold read done at %d, want >= %d", done, want)
+	}
+}
+
+func TestTraceRecordsCAS(t *testing.T) {
+	c, _ := newCtl(t)
+	tr := &stats.CASTrace{}
+	c.Trace = tr
+	buf := make([]byte, 64)
+	c.Read(0, 3, buf)
+	c.Write(64, 4, buf)
+	c.DrainWrites()
+	if tr.Reads() != 1 || tr.Writes() != 1 {
+		t.Fatalf("trace %d/%d", tr.Reads(), tr.Writes())
+	}
+	if tr.Events[0].Core != 3 || tr.Events[1].Core != 4 {
+		t.Fatal("core attribution lost")
+	}
+	if tr.Events[1].AtPs <= tr.Events[0].AtPs {
+		t.Fatal("trace times not increasing")
+	}
+}
+
+func TestBandwidthMeter(t *testing.T) {
+	c, _ := newCtl(t)
+	m := &stats.BandwidthMeter{}
+	c.Meter = m
+	buf := make([]byte, 64)
+	for i := 0; i < 10; i++ {
+		c.Read(uint64(i)*64, 0, buf)
+	}
+	if m.TotalBytes() != 640 {
+		t.Fatalf("meter bytes = %d", m.TotalBytes())
+	}
+}
+
+// alertModule wraps a module, asserting ALERT_N for the first n reads of
+// a marked address (the SmartDIMM S13 path).
+type alertModule struct {
+	dram.Module
+	alertAddr  uint64
+	alertsLeft int
+	sawRetries int
+}
+
+func (a *alertModule) HandleCommand(cycle int64, cmd dram.Command, wdata, rdata []byte) (bool, error) {
+	if cmd.Kind == dram.CmdRd {
+		phys := a.Module.Mapper().Encode(cmd.Rank, cmd.BG, cmd.BA, cmd.Row, cmd.Col)
+		if phys == a.alertAddr && a.alertsLeft > 0 {
+			a.alertsLeft--
+			a.sawRetries++
+			return true, nil
+		}
+	}
+	return a.Module.HandleCommand(cycle, cmd, wdata, rdata)
+}
+
+func TestAlertRetry(t *testing.T) {
+	d, _ := dram.NewPlainDIMM(dram.SmallGeometry())
+	am := &alertModule{Module: d, alertAddr: 0x40, alertsLeft: 3}
+	cfg := DefaultConfig()
+	c := New(cfg, am)
+
+	buf := make([]byte, 64)
+	done, err := c.Read(0x40, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Alerts != 3 {
+		t.Fatalf("alerts = %d, want 3", c.Stats().Alerts)
+	}
+	if done < 3*int64(cfg.AlertRetryCycles) {
+		t.Fatalf("retry penalty not applied: done=%d", done)
+	}
+}
+
+func TestAlertRetryLimit(t *testing.T) {
+	d, _ := dram.NewPlainDIMM(dram.SmallGeometry())
+	am := &alertModule{Module: d, alertAddr: 0x40, alertsLeft: 1 << 30}
+	cfg := DefaultConfig()
+	cfg.MaxAlertRetries = 4
+	c := New(cfg, am)
+	if _, err := c.Read(0x40, 0, make([]byte, 64)); err == nil {
+		t.Fatal("endless ALERT_N should error out")
+	}
+}
+
+func TestBusTurnaroundCounted(t *testing.T) {
+	c, _ := newCtl(t)
+	buf := make([]byte, 64)
+	c.Read(0, 0, buf)
+	c.Write(64, 0, buf)
+	c.DrainWrites()
+	c.Read(128, 0, buf)
+	if c.Stats().Turnarounds < 2 {
+		t.Fatalf("turnarounds = %d, want >= 2", c.Stats().Turnarounds)
+	}
+}
+
+func TestReadWriteSlackExceedsOneMicrosecond(t *testing.T) {
+	// §IV-D: the gap between the first sbuf rdCAS and the first dbuf
+	// wrCAS exceeds 1us on the testbed; the model's WPQ policy must
+	// reproduce that.
+	c, _ := newCtl(t)
+	slackPs := c.CycleToPs(c.ReadWriteSlackCycles())
+	if slackPs < 100_000 { // >= 0.1us analytically...
+		t.Fatalf("analytic slack %d ps implausibly small", slackPs)
+	}
+	// Measured: stream reads of one page while writing another; compare
+	// first rdCAS and first wrCAS timestamps.
+	tr := &stats.CASTrace{}
+	c.Trace = tr
+	buf := make([]byte, 64)
+	for i := 0; i < 64; i++ {
+		c.Read(uint64(i)*64, 0, buf)
+		c.Write(1<<20+uint64(i)*64, 0, buf)
+	}
+	c.DrainWrites()
+	var firstRd, firstWr int64 = -1, -1
+	for _, ev := range tr.Events {
+		if ev.Kind == stats.RdCAS && firstRd == -1 {
+			firstRd = ev.AtPs
+		}
+		if ev.Kind == stats.WrCAS && firstWr == -1 {
+			firstWr = ev.AtPs
+		}
+	}
+	if firstRd == -1 || firstWr == -1 {
+		t.Fatal("missing CAS events")
+	}
+	slack := firstWr - firstRd
+	if slack < 200_000 { // 0.2us in the reduced model; >1us on silicon
+		t.Fatalf("measured rd->wr slack %d ps too small", slack)
+	}
+}
+
+func TestAdvanceToMonotonic(t *testing.T) {
+	c, _ := newCtl(t)
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Fatal("AdvanceTo failed")
+	}
+	c.AdvanceTo(50)
+	if c.Now() != 100 {
+		t.Fatal("AdvanceTo went backward")
+	}
+	if c.NowPs() != 100*dram.DDR4_3200().TCKps {
+		t.Fatal("NowPs conversion")
+	}
+}
+
+func TestShortWriteRejected(t *testing.T) {
+	c, _ := newCtl(t)
+	if _, err := c.Write(0, 0, make([]byte, 10)); err == nil {
+		t.Fatal("short write accepted")
+	}
+}
+
+func BenchmarkStreamRead(b *testing.B) {
+	d, _ := dram.NewPlainDIMM(dram.SmallGeometry())
+	c := New(DefaultConfig(), d)
+	buf := make([]byte, 64)
+	cap := dram.SmallGeometry().CapacityBytes()
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(uint64(i)*64%cap, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package netsim models the network fabric of the testbed: serialized
+// links with propagation delay and the programmable switch the paper
+// uses to inject packet drops (§III, Fig. 2). Packets flow over a
+// sim.Engine so link behaviour composes with the TCP model and the
+// server model deterministically.
+package netsim
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Packet is one frame on the wire. Payload semantics belong to the
+// layer above (nettcp).
+type Packet struct {
+	Seq   int64 // first payload byte (TCP sequence)
+	Len   int   // payload bytes
+	Wire  int   // bytes on the wire including headers
+	Flags uint8
+	Ack   int64 // cumulative ack (for ACK packets)
+	SACK  bool
+}
+
+// Packet flags.
+const (
+	FlagAck uint8 = 1 << iota
+	FlagRetransmit
+)
+
+// LinkConfig describes one unidirectional link (through the drop-
+// injecting switch).
+type LinkConfig struct {
+	Gbps           float64
+	PropPs         int64
+	DropProb       float64 // Bernoulli per-packet drop (the switch)
+	ReorderProb    float64
+	ReorderDelayPs int64 // extra delay applied to reordered packets
+	Seed           int64
+}
+
+// Link is a serialized, lossy, optionally reordering link.
+type Link struct {
+	cfg  LinkConfig
+	eng  *sim.Engine
+	rng  *rand.Rand
+	busy int64 // time the transmitter frees up
+	// Deliver receives packets at the far end.
+	Deliver func(Packet)
+
+	Sent      uint64
+	Dropped   uint64
+	Reordered uint64
+	Delivered uint64
+	WireBytes uint64
+}
+
+// NewLink builds a link on the engine.
+func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
+	if cfg.Gbps <= 0 {
+		cfg.Gbps = 100
+	}
+	return &Link{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// serializationPs returns wire time for n bytes.
+func (l *Link) serializationPs(n int) int64 {
+	return int64(float64(n*8) / (l.cfg.Gbps * 1e9) * 1e12)
+}
+
+// Send enqueues a packet for transmission. The transmitter serializes
+// packets back to back; the switch then drops or delays them.
+func (l *Link) Send(p Packet) {
+	l.Sent++
+	l.WireBytes += uint64(p.Wire)
+	start := l.eng.Now()
+	if l.busy > start {
+		start = l.busy
+	}
+	done := start + l.serializationPs(p.Wire)
+	l.busy = done
+
+	if l.rng.Float64() < l.cfg.DropProb {
+		l.Dropped++
+		return // the switch ate it
+	}
+	delay := l.cfg.PropPs
+	if l.cfg.ReorderProb > 0 && l.rng.Float64() < l.cfg.ReorderProb {
+		l.Reordered++
+		delay += l.cfg.ReorderDelayPs
+	}
+	l.eng.At(done+delay, func() {
+		l.Delivered++
+		if l.Deliver != nil {
+			l.Deliver(p)
+		}
+	})
+}
+
+// BusyUntil returns when the transmitter frees up (for senders that
+// pace against the link).
+func (l *Link) BusyUntil() int64 { return l.busy }

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLinkDeliversInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, LinkConfig{Gbps: 100, PropPs: 1000})
+	var got []int64
+	l.Deliver = func(p Packet) { got = append(got, p.Seq) }
+	for i := int64(0); i < 10; i++ {
+		l.Send(Packet{Seq: i, Len: 1000, Wire: 1040})
+	}
+	eng.Run()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(got))
+	}
+	for i, s := range got {
+		if s != int64(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if l.Delivered != 10 || l.Dropped != 0 {
+		t.Fatalf("stats %d/%d", l.Delivered, l.Dropped)
+	}
+}
+
+func TestLinkSerializationPacing(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, LinkConfig{Gbps: 10, PropPs: 0}) // 10Gbps: 1250B = 1us
+	var times []int64
+	l.Deliver = func(p Packet) { times = append(times, eng.Now()) }
+	l.Send(Packet{Len: 1250, Wire: 1250})
+	l.Send(Packet{Len: 1250, Wire: 1250})
+	eng.Run()
+	if len(times) != 2 {
+		t.Fatal("delivery count")
+	}
+	gap := times[1] - times[0]
+	if gap < 900_000 || gap > 1_100_000 {
+		t.Fatalf("serialization gap = %dps, want ~1us", gap)
+	}
+}
+
+func TestLinkDropRate(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, LinkConfig{Gbps: 100, DropProb: 0.5, Seed: 42})
+	n := 0
+	l.Deliver = func(Packet) { n++ }
+	for i := 0; i < 10000; i++ {
+		l.Send(Packet{Len: 100, Wire: 140})
+	}
+	eng.Run()
+	if l.Dropped == 0 {
+		t.Fatal("nothing dropped at p=0.5")
+	}
+	rate := float64(l.Dropped) / float64(l.Sent)
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("drop rate %.3f, want ~0.5", rate)
+	}
+	if uint64(n) != l.Delivered || l.Delivered+l.Dropped != l.Sent {
+		t.Fatal("accounting inconsistent")
+	}
+}
+
+func TestLinkReorder(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, LinkConfig{Gbps: 100, PropPs: 100, ReorderProb: 0.3,
+		ReorderDelayPs: 1_000_000, Seed: 7})
+	var got []int64
+	l.Deliver = func(p Packet) { got = append(got, p.Seq) }
+	for i := int64(0); i < 100; i++ {
+		l.Send(Packet{Seq: i, Len: 100, Wire: 140})
+	}
+	eng.Run()
+	if l.Reordered == 0 {
+		t.Fatal("no reordering at p=0.3")
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("reordered packets arrived in order")
+	}
+}
+
+func TestLinkDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		eng := sim.NewEngine()
+		l := NewLink(eng, LinkConfig{Gbps: 100, DropProb: 0.1, Seed: 3})
+		l.Deliver = func(Packet) {}
+		for i := 0; i < 1000; i++ {
+			l.Send(Packet{Len: 100, Wire: 140})
+		}
+		eng.Run()
+		return l.Dropped, l.Delivered
+	}
+	d1, del1 := run()
+	d2, del2 := run()
+	if d1 != d2 || del1 != del2 {
+		t.Fatal("same seed produced different outcomes")
+	}
+}

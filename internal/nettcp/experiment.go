@@ -1,0 +1,56 @@
+package nettcp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// GoodputResult is one Fig. 2 measurement point.
+type GoodputResult struct {
+	DropProb    float64
+	GoodputGbps float64
+	Retransmits uint64
+	Timeouts    uint64
+	Resyncs     uint64 // SmartNIC hook only
+	Completed   bool
+}
+
+// MeasureGoodput runs one bulk transfer of total bytes through a lossy
+// 100GbE link with the given ULP hook and drop probability, returning
+// achieved goodput — one point of Fig. 2.
+func MeasureGoodput(p sim.Params, hook ULPHook, dropProb float64, total int64, seed int64) GoodputResult {
+	eng := sim.NewEngine()
+	rttHalf := int64(p.RTTUs * float64(sim.Us) / 2)
+	data := netsim.NewLink(eng, netsim.LinkConfig{
+		Gbps: p.LinkGbps, PropPs: rttHalf, DropProb: dropProb, Seed: seed,
+	})
+	ack := netsim.NewLink(eng, netsim.LinkConfig{
+		Gbps: p.LinkGbps, PropPs: rttHalf, Seed: seed + 1,
+	})
+	cfg := DefaultConfig()
+	cfg.MSS = p.MTUBytes - 40
+	sender, recv := NewTransfer(eng, data, ack, cfg, hook, total)
+
+	// Bound the run: generous deadline scaled to the ideal time.
+	ideal := int64(float64(total*8) / (p.LinkGbps * 1e9) * 1e12)
+	deadline := 200*ideal + 2*sim.S
+	eng.RunUntil(deadline)
+
+	res := GoodputResult{
+		DropProb:    dropProb,
+		Retransmits: sender.Retransmits,
+		Timeouts:    sender.Timeouts,
+		Completed:   sender.Done(),
+	}
+	elapsed := sender.DonePs
+	if !sender.Done() {
+		elapsed = eng.Now()
+	}
+	if elapsed > 0 {
+		res.GoodputGbps = float64(recv.Received*8) / (float64(elapsed) * 1e-12) / 1e9
+	}
+	if nic, ok := hook.(*NICTLSHook); ok {
+		res.Resyncs = nic.Resyncs
+	}
+	return res
+}

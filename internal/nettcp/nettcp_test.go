@@ -1,0 +1,144 @@
+package nettcp
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// zeroHook charges no ULP costs (plain TCP).
+type zeroHook struct{}
+
+func (zeroHook) RecordCost(int) int64     { return 0 }
+func (zeroHook) RetransmitCost(int) int64 { return 0 }
+
+func runTransfer(t *testing.T, drop float64, hook ULPHook, total int64) (*Sender, *Receiver, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	data := netsim.NewLink(eng, netsim.LinkConfig{Gbps: 100, PropPs: 6 * sim.Us, DropProb: drop, Seed: 1})
+	ack := netsim.NewLink(eng, netsim.LinkConfig{Gbps: 100, PropPs: 6 * sim.Us, Seed: 2})
+	s, r := NewTransfer(eng, data, ack, DefaultConfig(), hook, total)
+	eng.RunUntil(60 * sim.S)
+	return s, r, eng
+}
+
+func TestLosslessTransferCompletes(t *testing.T) {
+	s, r, _ := runTransfer(t, 0, zeroHook{}, 10<<20)
+	if !s.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	if r.Received != 10<<20 {
+		t.Fatalf("received %d, want %d", r.Received, 10<<20)
+	}
+	if s.Retransmits != 0 || s.Timeouts != 0 {
+		t.Fatalf("spurious retransmits %d / timeouts %d", s.Retransmits, s.Timeouts)
+	}
+}
+
+func TestLosslessGoodputNearLineRate(t *testing.T) {
+	s, r, _ := runTransfer(t, 0, zeroHook{}, 50<<20)
+	gbps := float64(r.Received*8) / (float64(s.DonePs) * 1e-12) / 1e9
+	if gbps < 50 {
+		t.Fatalf("goodput %.1f Gbps, want near 100 for bulk lossless", gbps)
+	}
+}
+
+func TestLossyTransferRecoversAllBytes(t *testing.T) {
+	for _, drop := range []float64{0.001, 0.01} {
+		s, r, _ := runTransfer(t, drop, zeroHook{}, 2<<20)
+		if !s.Done() {
+			t.Fatalf("drop=%v: transfer stuck (recv %d)", drop, r.Received)
+		}
+		if r.Received < 2<<20 {
+			t.Fatalf("drop=%v: received %d", drop, r.Received)
+		}
+		if s.Retransmits == 0 {
+			t.Fatalf("drop=%v: no retransmissions recorded", drop)
+		}
+	}
+}
+
+func TestLossReducesGoodput(t *testing.T) {
+	s0, r0, _ := runTransfer(t, 0, zeroHook{}, 5<<20)
+	s1, r1, _ := runTransfer(t, 0.01, zeroHook{}, 5<<20)
+	if !s0.Done() || !s1.Done() {
+		t.Fatal("transfers incomplete")
+	}
+	g0 := r0.Goodput(s0.DonePs)
+	g1 := r1.Goodput(s1.DonePs)
+	if g1 >= g0 {
+		t.Fatalf("1%% loss did not reduce goodput: %.0f vs %.0f", g1, g0)
+	}
+}
+
+func TestULPRecordCostThrottlesSender(t *testing.T) {
+	// A hook charging 10us per 16KB record caps goodput at ~13 Gbps.
+	slow := &fixedHook{record: 10 * sim.Us}
+	s, r, _ := runTransfer(t, 0, slow, 10<<20)
+	if !s.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	gbps := float64(r.Received*8) / (float64(s.DonePs) * 1e-12) / 1e9
+	if gbps > 16 {
+		t.Fatalf("record cost not throttling: %.1f Gbps", gbps)
+	}
+}
+
+type fixedHook struct {
+	record, retrans int64
+	retransN        int
+}
+
+func (h *fixedHook) RecordCost(int) int64 { return h.record }
+func (h *fixedHook) RetransmitCost(int) int64 {
+	h.retransN++
+	return h.retrans
+}
+
+func TestRetransmitCostCharged(t *testing.T) {
+	h := &fixedHook{retrans: 50 * sim.Us}
+	s, _, _ := runTransfer(t, 0.005, h, 2<<20)
+	if !s.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	if h.retransN == 0 {
+		t.Fatal("retransmit hook never charged")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	// The headline Fig. 2 behaviour:
+	//   (1) at zero drops SmartNIC and CPU achieve similar bandwidth;
+	//   (2) as drops rise, SmartNIC degrades more than CPU.
+	p := sim.DefaultParams()
+	const total = 8 << 20
+	cpu0 := MeasureGoodput(p, CPUTLSHook{P: p}, 0, total, 1)
+	nic0 := MeasureGoodput(p, &NICTLSHook{P: p, RecordLen: 16384}, 0, total, 1)
+	if !cpu0.Completed || !nic0.Completed {
+		t.Fatal("lossless transfers incomplete")
+	}
+	ratio0 := nic0.GoodputGbps / cpu0.GoodputGbps
+	if ratio0 < 0.85 || ratio0 > 1.3 {
+		t.Fatalf("at 0 drops NIC/CPU = %.2f, want ~1 (paper: parity)", ratio0)
+	}
+
+	cpuD := MeasureGoodput(p, CPUTLSHook{P: p}, 0.004, total, 1)
+	nicD := MeasureGoodput(p, &NICTLSHook{P: p, RecordLen: 16384}, 0.004, total, 1)
+	if nicD.Resyncs == 0 {
+		t.Fatal("no resyncs under drops")
+	}
+	// SmartNIC must lose more of its bandwidth than CPU does.
+	cpuLoss := cpuD.GoodputGbps / cpu0.GoodputGbps
+	nicLoss := nicD.GoodputGbps / nic0.GoodputGbps
+	if nicLoss >= cpuLoss {
+		t.Fatalf("SmartNIC retained %.2f vs CPU %.2f under drops — cliff missing", nicLoss, cpuLoss)
+	}
+}
+
+func TestGoodputZeroElapsed(t *testing.T) {
+	r := &Receiver{}
+	if r.Goodput(0) != 0 {
+		t.Fatal("zero elapsed should be zero goodput")
+	}
+}

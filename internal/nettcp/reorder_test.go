@@ -1,0 +1,66 @@
+package nettcp
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestReorderTriggersResyncNotLoss: packet reordering (no loss) still
+// desynchronizes the autonomous SmartNIC engine via spurious fast
+// retransmits, while a CPU sender merely wastes a little bandwidth —
+// the second half of the paper's Observation 1.
+func TestReorderTriggersResyncNotLoss(t *testing.T) {
+	run := func(hook ULPHook) (*Sender, *Receiver) {
+		eng := sim.NewEngine()
+		data := netsim.NewLink(eng, netsim.LinkConfig{
+			Gbps: 100, PropPs: 6 * sim.Us,
+			ReorderProb: 0.01, ReorderDelayPs: 300 * sim.Us, Seed: 5,
+		})
+		ack := netsim.NewLink(eng, netsim.LinkConfig{Gbps: 100, PropPs: 6 * sim.Us, Seed: 6})
+		s, r := NewTransfer(eng, data, ack, DefaultConfig(), hook, 4<<20)
+		eng.RunUntil(30 * sim.S)
+		return s, r
+	}
+	nic := &NICTLSHook{P: sim.DefaultParams(), RecordLen: 16384}
+	sNIC, rNIC := run(nic)
+	if !sNIC.Done() {
+		t.Fatal("NIC transfer incomplete under reordering")
+	}
+	if rNIC.Received != 4<<20 {
+		t.Fatalf("received %d", rNIC.Received)
+	}
+	if nic.Resyncs == 0 {
+		t.Fatal("reordering produced no resyncs")
+	}
+
+	sCPU, _ := run(CPUTLSHook{P: sim.DefaultParams()})
+	if !sCPU.Done() {
+		t.Fatal("CPU transfer incomplete under reordering")
+	}
+	// Reordering costs the NIC configuration more time than the CPU one.
+	if sNIC.DonePs <= sCPU.DonePs {
+		t.Fatalf("NIC (%.2fms) not slower than CPU (%.2fms) under reordering",
+			float64(sNIC.DonePs)/float64(sim.Ms), float64(sCPU.DonePs)/float64(sim.Ms))
+	}
+}
+
+// TestSpuriousRetransmitsFromReorder verifies the TCP model itself
+// produces duplicate-ACK-driven retransmissions from reordering alone.
+func TestSpuriousRetransmitsFromReorder(t *testing.T) {
+	eng := sim.NewEngine()
+	data := netsim.NewLink(eng, netsim.LinkConfig{
+		Gbps: 100, PropPs: 6 * sim.Us,
+		ReorderProb: 0.02, ReorderDelayPs: 500 * sim.Us, Seed: 9,
+	})
+	ack := netsim.NewLink(eng, netsim.LinkConfig{Gbps: 100, PropPs: 6 * sim.Us, Seed: 10})
+	s, _ := NewTransfer(eng, data, ack, DefaultConfig(), zeroHook{}, 4<<20)
+	eng.RunUntil(30 * sim.S)
+	if !s.Done() {
+		t.Fatal("transfer incomplete")
+	}
+	if s.Retransmits == 0 {
+		t.Fatal("no spurious retransmits despite heavy reordering")
+	}
+}

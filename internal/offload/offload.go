@@ -1,0 +1,756 @@
+// Package offload implements the four ULP accelerator placements the
+// paper's evaluation compares (§VI): processing on the CPU with AES-NI,
+// autonomous SmartNIC offload (ConnectX-6 style), PCIe-card offload
+// (QuickAssist style), and SmartDIMM via CompCpy — all behind one
+// Backend interface driven by the server model.
+//
+// Each backend executes its real memory traffic against the shared
+// system model (internal/sim.System), so the CPU-utilization and
+// memory-bandwidth numbers of Fig. 11/12 are measured, not asserted:
+// the CPU path streams payloads through the LLC twice and pays compute
+// time; the PCIe path pays descriptor/doorbell/poll latencies plus DMA
+// passes; the SmartDIMM path pays CompCpy's copy and registration and
+// nothing else.
+package offload
+
+import (
+	"fmt"
+
+	"repro/internal/aesgcm"
+	"repro/internal/core"
+	"repro/internal/deflate"
+	"repro/internal/sim"
+)
+
+// ULP selects the upper-layer protocol being offloaded.
+type ULP int
+
+// The two ULPs of the paper's evaluation.
+const (
+	TLS ULP = iota
+	Compression
+)
+
+// String names the ULP.
+func (u ULP) String() string {
+	if u == TLS {
+		return "tls"
+	}
+	return "compression"
+}
+
+// TLSRecordHeader is the TLS 1.3 record header size (also used as AAD).
+const TLSRecordHeader = 5
+
+// MaxTLSPayload is the largest payload per TLS record: sized so that
+// payload+tag is exactly four 4KB pages, keeping SmartDIMM records
+// page-aligned with no overlap between consecutive records.
+const MaxTLSPayload = 16384 - aesgcm.TagSize
+
+// Layout describes how a message is split into ULP records and where
+// each record's source and destination live within the connection
+// buffers. All backends share one layout so their memory behaviour is
+// comparable.
+type Layout struct {
+	MaxChunk  int // payload bytes per record
+	SrcStride int // source bytes reserved per record (page multiple)
+	DstStride int // destination bytes reserved per record (page multiple)
+}
+
+// LayoutFor returns the record layout of a ULP.
+func LayoutFor(u ULP) Layout {
+	if u == TLS {
+		// Source: 16368B payload in a 16KB window. Destination: header +
+		// ciphertext + tag needs 16389B; reserve 5 pages.
+		return Layout{MaxChunk: MaxTLSPayload, SrcStride: 16384, DstStride: 20480}
+	}
+	return Layout{MaxChunk: core.MaxCompressInput, SrcStride: core.PageSize, DstStride: core.PageSize}
+}
+
+// Chunks returns the per-record payload sizes for a message.
+func (l Layout) Chunks(payloadLen int) []int {
+	var out []int
+	for payloadLen > 0 {
+		c := payloadLen
+		if c > l.MaxChunk {
+			c = l.MaxChunk
+		}
+		out = append(out, c)
+		payloadLen -= c
+	}
+	return out
+}
+
+// BufBytes returns the buffer size needed for a message of msgSize.
+func (l Layout) BufBytes(msgSize int) int {
+	n := (msgSize + l.MaxChunk - 1) / l.MaxChunk
+	if n == 0 {
+		n = 1
+	}
+	stride := l.SrcStride
+	if l.DstStride > stride {
+		stride = l.DstStride
+	}
+	return n * stride
+}
+
+// Span is one destination region the NIC must DMA for transmission.
+type Span struct {
+	Off int // offset within conn.Dst
+	Len int
+}
+
+// Result reports the cost breakdown of one ULP operation.
+type Result struct {
+	// CPUPs is CPU busy time charged to the worker core.
+	CPUPs int64
+	// DevicePs is time spent on the accelerator while the CPU waits
+	// (synchronous offloads) — included in latency, not CPU utilization.
+	DevicePs int64
+	// TXBytes is the post-ULP byte count handed to the NIC.
+	TXBytes int
+	// Records is how many ULP records/chunks were produced.
+	Records int
+	// DstSpans lists the destination regions for NIC TX DMA.
+	DstSpans []Span
+	// DstFlushNeeded marks destinations whose cached (stale) copies must
+	// be flushed before TX DMA — the USE step of Algorithm 2. Only the
+	// SmartDIMM path sets it; the flush is what recycles the Scratchpad
+	// in the common case, and it happens at transmission time, not
+	// inside Process, so Scratchpad pages live across the gap between
+	// ULP processing and TCP transmission (the Fig. 10 dynamics).
+	DstFlushNeeded bool
+}
+
+// WallPs is the latency contribution of the operation.
+func (r Result) WallPs() int64 { return r.CPUPs + r.DevicePs }
+
+// Conn is per-connection state: buffer addresses in the system's
+// memory, the TLS session key material, and a record sequence counter.
+type Conn struct {
+	ID   int
+	U    ULP
+	Src  uint64 // staging buffer holding the (plain) payload
+	Dst  uint64 // record buffer holding the ULP output
+	Size int    // per-buffer size in bytes
+
+	Key    []byte
+	ivBase [12]byte
+	seq    uint64
+
+	// State is the software compressor's per-connection state region
+	// (zlib-style sliding window + hash tables). Only the CPU
+	// compression path touches it; the Deflate DSA keeps its candidate
+	// state in on-chip Config Memory instead (§V-B) — that asymmetry is
+	// a large part of Fig. 12's memory-bandwidth gap.
+	State      uint64
+	StateBytes int
+
+	onSmartDIMM bool
+}
+
+// NextIV derives the per-record nonce (TLS 1.3 xors the sequence number
+// into the static IV).
+func (c *Conn) NextIV() []byte {
+	iv := make([]byte, 12)
+	copy(iv, c.ivBase[:])
+	s := c.seq
+	c.seq++
+	for i := 0; i < 8; i++ {
+		iv[11-i] ^= byte(s >> (8 * i))
+	}
+	return iv
+}
+
+// Backend is one accelerator placement.
+type Backend interface {
+	Name() string
+	// NewConn allocates connection buffers able to hold msgSize-byte
+	// messages of the given ULP.
+	NewConn(u ULP, id, msgSize int) (*Conn, error)
+	// Process runs the ULP over the payload already staged in conn.Src
+	// (per LayoutFor(u)) and leaves the output in conn.Dst, ready for
+	// NIC TX DMA over the returned DstSpans.
+	Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error)
+	// Supports reports whether the placement can run the ULP at all
+	// (SmartNICs cannot offload non-size-preserving compression, §III).
+	Supports(u ULP) bool
+	// InlineSource reports whether the backend consumes the page-cache
+	// resident payload directly from conn.Src without a separate staging
+	// copy. SmartDIMM piggybacks its offload on the existing copy (§IV
+	// goals: "minimized data movement"), so the server keeps file data
+	// in conn.Src (on-DIMM page cache, Benefit B2) and skips staging.
+	InlineSource() bool
+}
+
+// StagePayloadCPU writes a message into conn.Src per the ULP layout via
+// CPU stores (the app copying from the page cache), returning CPU time.
+func StagePayloadCPU(sys *sim.System, coreID int, conn *Conn, payload []byte) (int64, error) {
+	l := LayoutFor(conn.U)
+	var lat int64
+	for k, n := range l.Chunks(len(payload)) {
+		w, err := sys.WriteBytes(coreID, conn.Src+uint64(k*l.SrcStride), payload[:n])
+		if err != nil {
+			return 0, err
+		}
+		lat += w
+		payload = payload[n:]
+	}
+	return lat, nil
+}
+
+// StagePayloadDMA delivers a message into conn.Src via device DMA
+// (storage or NIC RX through DDIO).
+func StagePayloadDMA(sys *sim.System, conn *Conn, payload []byte) error {
+	l := LayoutFor(conn.U)
+	for k, n := range l.Chunks(len(payload)) {
+		if err := sys.DMAIn(conn.Src+uint64(k*l.SrcStride), payload[:n]); err != nil {
+			return err
+		}
+		payload = payload[n:]
+	}
+	return nil
+}
+
+// ReadOutput reads the transformed records back through the cache (test
+// verification helper; not part of the serving path). When the result
+// requires a destination flush (SmartDIMM), it performs the USE step
+// first so the reads observe the DSA output.
+func ReadOutput(sys *sim.System, coreID int, conn *Conn, res Result) ([][]byte, error) {
+	var out [][]byte
+	for _, sp := range res.DstSpans {
+		if res.DstFlushNeeded {
+			if _, err := sys.Hier.Flush(conn.Dst+uint64(sp.Off), sp.Len); err != nil {
+				return nil, err
+			}
+		}
+		b, _, err := sys.ReadBytes(coreID, conn.Dst+uint64(sp.Off), sp.Len)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// connKey derives deterministic per-connection key material.
+func connKey(id int) ([]byte, [12]byte) {
+	key := make([]byte, 16)
+	var iv [12]byte
+	for i := range key {
+		key[i] = byte(id>>(i%4) + i*7)
+	}
+	for i := range iv {
+		iv[i] = byte(id*13 + i)
+	}
+	return key, iv
+}
+
+// newPlainConn allocates connection buffers in regular memory.
+// SoftDeflateStateBytes models the software compressor's working state
+// (32KB sliding window x2 + hash heads/chains), the dominant source of
+// cache pressure on the CPU compression path.
+const SoftDeflateStateBytes = 64 << 10
+
+func newPlainConn(sys *sim.System, u ULP, id, msgSize int) (*Conn, error) {
+	size := LayoutFor(u).BufBytes(msgSize)
+	src, err := sys.AllocPlain(size)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := sys.AllocPlain(size)
+	if err != nil {
+		return nil, err
+	}
+	key, iv := connKey(id)
+	c := &Conn{ID: id, U: u, Src: src, Dst: dst, Size: size, Key: key, ivBase: iv}
+	if u == Compression {
+		st, err := sys.AllocPlain(SoftDeflateStateBytes)
+		if err != nil {
+			return nil, err
+		}
+		c.State = st
+		c.StateBytes = SoftDeflateStateBytes
+	}
+	return c, nil
+}
+
+// tlsAAD builds the 5-byte TLS record header used as AAD.
+func tlsAAD(payloadLen int) []byte {
+	n := payloadLen + aesgcm.TagSize
+	return []byte{0x17, 0x03, 0x03, byte(n >> 8), byte(n)}
+}
+
+// softCompressPage produces the wire page format with the software
+// encoder (better ratio than the DSA, same framing).
+func softCompressPage(data []byte) []byte {
+	stream := deflate.Compress(data)
+	if len(stream)+4 <= len(data) {
+		out := make([]byte, 4+len(stream))
+		out[0] = byte(len(stream))
+		out[1] = byte(len(stream) >> 8)
+		out[2] = byte(len(stream) >> 16)
+		copy(out[4:], stream)
+		return out
+	}
+	out := make([]byte, 4+len(data))
+	out[0] = byte(len(data))
+	out[1] = byte(len(data) >> 8)
+	out[2] = byte(len(data) >> 16)
+	out[3] = 0x80
+	copy(out[4:], data)
+	return out
+}
+
+// estimateCompressed models a typical HTML compression ratio (~3x) for
+// non-functional sweeps.
+func estimateCompressed(n int) int { return 4 + n/3 }
+
+// --- CPU backend ---------------------------------------------------------
+
+// CPU processes ULPs on the host cores: AES-NI for TLS, software
+// deflate for compression. Functional controls whether the actual
+// transform runs (tests verify outputs) or only its memory traffic and
+// compute time are modelled (large sweeps).
+type CPU struct {
+	Sys        *sim.System
+	Functional bool
+}
+
+// Name implements Backend.
+func (b *CPU) Name() string { return "CPU" }
+
+// Supports implements Backend: the CPU runs everything.
+func (b *CPU) Supports(ULP) bool { return true }
+
+// InlineSource implements Backend: the CPU path copies payloads from
+// the page cache into its buffers before processing.
+func (b *CPU) InlineSource() bool { return false }
+
+// NewConn implements Backend.
+func (b *CPU) NewConn(u ULP, id, msgSize int) (*Conn, error) {
+	return newPlainConn(b.Sys, u, id, msgSize)
+}
+
+// Process implements Backend.
+func (b *CPU) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
+	var res Result
+	p := b.Sys.Params
+	l := LayoutFor(u)
+	var gcm *aesgcm.GCM
+	if b.Functional && u == TLS {
+		var err error
+		gcm, err = aesgcm.NewGCM(conn.Key)
+		if err != nil {
+			return res, err
+		}
+	}
+	if u == Compression && conn.StateBytes > 0 {
+		// The software compressor streams through its window and hash
+		// state: half read, half updated, all through the LLC. Under
+		// many concurrent connections this state is what thrashes.
+		half := conn.StateBytes / 2
+		_, lat, err := b.Sys.ReadBytes(coreID, conn.State, half)
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat
+		lat, err = b.Sys.WriteBytes(coreID, conn.State+uint64(half), make([]byte, half))
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat
+	}
+	for k, n := range l.Chunks(payloadLen) {
+		// Read the plaintext through the cache (first ULP pass).
+		data, lat, err := b.Sys.ReadBytes(coreID, conn.Src+uint64(k*l.SrcStride), n)
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat
+
+		var out []byte
+		switch u {
+		case TLS:
+			res.CPUPs += p.AESGCMComputePs(n)
+			if b.Functional {
+				sealed, err := gcm.Seal(nil, conn.NextIV(), data, tlsAAD(n))
+				if err != nil {
+					return res, err
+				}
+				out = append(tlsAAD(n), sealed...)
+			} else {
+				conn.NextIV()
+				out = make([]byte, TLSRecordHeader+n+aesgcm.TagSize)
+			}
+		case Compression:
+			res.CPUPs += p.DeflateComputePs(n)
+			if b.Functional {
+				out = softCompressPage(data)
+			} else {
+				out = make([]byte, estimateCompressed(n))
+			}
+		}
+		// Write the record through the cache (second ULP pass).
+		lat, err = b.Sys.WriteBytes(coreID, conn.Dst+uint64(k*l.DstStride), out)
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat
+		res.TXBytes += len(out)
+		res.Records++
+		res.DstSpans = append(res.DstSpans, Span{Off: k * l.DstStride, Len: len(out)})
+	}
+	return res, nil
+}
+
+// --- SmartNIC backend ------------------------------------------------------
+
+// SmartNIC models ConnectX-6 autonomous TLS offload (Pismenny et al.):
+// the CPU builds the plaintext record and the TCP stack as usual; the
+// NIC encrypts inline during TX. On packet loss or reordering the
+// engine desynchronizes: the driver resynchronizes and the affected
+// record falls back to CPU encryption — the Fig. 2 mechanism, charged
+// via ResyncPenalty.
+type SmartNIC struct {
+	Sys *sim.System
+	// Resyncs counts desynchronization events charged so far.
+	Resyncs uint64
+}
+
+// Name implements Backend.
+func (b *SmartNIC) Name() string { return "SmartNIC" }
+
+// Supports implements Backend: autonomous NIC offload requires
+// size-preserving transforms, so compression is out (§III, Obs. 1).
+func (b *SmartNIC) Supports(u ULP) bool { return u == TLS }
+
+// InlineSource implements Backend.
+func (b *SmartNIC) InlineSource() bool { return false }
+
+// NewConn implements Backend.
+func (b *SmartNIC) NewConn(u ULP, id, msgSize int) (*Conn, error) {
+	return newPlainConn(b.Sys, u, id, msgSize)
+}
+
+// Process implements Backend: the CPU builds the record with plaintext
+// payload (the library "skips performing the offloaded operation in
+// software"); encryption happens on the NIC at line rate with no CPU or
+// host-memory cost beyond the TX DMA the server model already performs.
+func (b *SmartNIC) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
+	var res Result
+	if u != TLS {
+		return res, fmt.Errorf("offload: SmartNIC cannot offload %v", u)
+	}
+	p := b.Sys.Params
+	l := LayoutFor(u)
+	for k, n := range l.Chunks(payloadLen) {
+		data, lat, err := b.Sys.ReadBytes(coreID, conn.Src+uint64(k*l.SrcStride), n)
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat + p.NICCryptoSetupNs*sim.Ns
+		out := make([]byte, 0, TLSRecordHeader+n+aesgcm.TagSize)
+		out = append(out, tlsAAD(n)...)
+		out = append(out, data...)                         // plaintext: NIC encrypts in flight
+		out = append(out, make([]byte, aesgcm.TagSize)...) // tag placeholder
+		conn.NextIV()
+		lat, err = b.Sys.WriteBytes(coreID, conn.Dst+uint64(k*l.DstStride), out)
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat
+		res.TXBytes += len(out)
+		res.Records++
+		res.DstSpans = append(res.DstSpans, Span{Off: k * l.DstStride, Len: len(out)})
+	}
+	return res, nil
+}
+
+// ResyncPenalty returns the cost of one desynchronization event: the
+// driver/firmware resync plus CPU fallback encryption of the affected
+// record (recordLen payload bytes).
+func (b *SmartNIC) ResyncPenalty(recordLen int) Result {
+	b.Resyncs++
+	p := b.Sys.Params
+	return Result{
+		CPUPs:    p.AESGCMComputePs(recordLen) + p.NICResyncUs*sim.Us/2,
+		DevicePs: p.NICResyncUs * sim.Us / 2,
+	}
+}
+
+// --- QuickAssist (PCIe) backend --------------------------------------------
+
+// QAT models an Intel QuickAssist 8970 PCIe adapter in the synchronous
+// mode the paper evaluates: per-offload descriptor setup and doorbell,
+// CPU copies into/out of pinned DMA buffers, payload DMA over PCIe in
+// both directions, and a spin-polling completion path that burns CPU for
+// the whole device round trip (Observation 2: the notification mechanism
+// bottlenecks PCIe-attached acceleration; the paper notes QAT "increases
+// memory and CPU utilization due to high notification and memory copy
+// overheads").
+type QAT struct {
+	Sys        *sim.System
+	Functional bool
+	// pinned DMA staging buffers, shared per backend (QAT instance).
+	pinned     uint64
+	pinnedSize int
+}
+
+// Name implements Backend.
+func (b *QAT) Name() string { return "QuickAssist" }
+
+// Supports implements Backend: QAT accelerates crypto and compression.
+func (b *QAT) Supports(ULP) bool { return true }
+
+// InlineSource implements Backend.
+func (b *QAT) InlineSource() bool { return false }
+
+// NewConn implements Backend.
+func (b *QAT) NewConn(u ULP, id, msgSize int) (*Conn, error) {
+	if need := LayoutFor(u).BufBytes(msgSize) * 2; b.pinnedSize < need {
+		addr, err := b.Sys.AllocPlain(need)
+		if err != nil {
+			return nil, err
+		}
+		b.pinned, b.pinnedSize = addr, need
+	}
+	return newPlainConn(b.Sys, u, id, msgSize)
+}
+
+// Process implements Backend.
+func (b *QAT) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
+	var res Result
+	p := b.Sys.Params
+	l := LayoutFor(u)
+	var gcm *aesgcm.GCM
+	if b.Functional && u == TLS {
+		var err error
+		gcm, err = aesgcm.NewGCM(conn.Key)
+		if err != nil {
+			return res, err
+		}
+	}
+	for k, n := range l.Chunks(payloadLen) {
+		// CPU: copy the payload into the pinned DMA staging buffer
+		// (the qatzip/QAT-engine flow), build the descriptor, doorbell.
+		data, lat, err := b.Sys.ReadBytes(coreID, conn.Src+uint64(k*l.SrcStride), n)
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat
+		lat, err = b.Sys.WriteBytes(coreID, b.pinned, data[:n])
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat + p.QATSetupNs*sim.Ns
+		// Card DMA-reads the payload from the pinned buffer (real
+		// channel traffic), computes, DMA-writes the result.
+		_, dmaLat, err := b.Sys.DMAOut(b.pinned, n)
+		if err != nil {
+			return res, err
+		}
+		var out []byte
+		switch {
+		case u == TLS && b.Functional:
+			sealed, err := gcm.Seal(nil, conn.NextIV(), data, tlsAAD(n))
+			if err != nil {
+				return res, err
+			}
+			out = append(tlsAAD(n), sealed...)
+		case u == TLS:
+			conn.NextIV()
+			out = make([]byte, TLSRecordHeader+n+aesgcm.TagSize)
+		case b.Functional:
+			out = softCompressPage(data)
+		default:
+			out = make([]byte, estimateCompressed(n))
+		}
+		if err := b.Sys.DMAIn(b.pinned+uint64(b.pinnedSize/2), out); err != nil {
+			return res, err
+		}
+		// Synchronous mode: the CPU spin-polls for the whole device
+		// round trip (PCIe RTT + both transfers), then copies the result
+		// out of the pinned buffer into the record buffer.
+		spin := int64(p.QATPCIeRTTUs*float64(sim.Us)) +
+			p.PCIeTransferPs(n) + p.PCIeTransferPs(len(out)) + dmaLat +
+			p.QATCompletionNs*sim.Ns
+		res.CPUPs += spin
+		out2, lat2, err := b.Sys.ReadBytes(coreID, b.pinned+uint64(b.pinnedSize/2), len(out))
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat2
+		lat2, err = b.Sys.WriteBytes(coreID, conn.Dst+uint64(k*l.DstStride), out2)
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat2
+		res.TXBytes += len(out)
+		res.Records++
+		res.DstSpans = append(res.DstSpans, Span{Off: k * l.DstStride, Len: len(out)})
+	}
+	return res, nil
+}
+
+// --- SmartDIMM backend -------------------------------------------------------
+
+// SmartDIMM offloads ULPs through CompCpy (§IV-V). Connection buffers
+// are allocated from the device's offload range; the only CPU costs are
+// the copy CompCpy performs anyway, the source flush, registration MMIO
+// writes, and the destination flush before TX.
+type SmartDIMM struct {
+	Sys *sim.System
+}
+
+// Name implements Backend.
+func (b *SmartDIMM) Name() string { return "SmartDIMM" }
+
+// Supports implements Backend: SmartDIMM handles both ULPs (§V).
+func (b *SmartDIMM) Supports(ULP) bool { return true }
+
+// InlineSource implements Backend: CompCpy piggybacks on the existing
+// copy out of the page cache; conn.Src holds the file data itself.
+func (b *SmartDIMM) InlineSource() bool { return true }
+
+// NewConn implements Backend: buffers come from the SmartDIMM driver.
+func (b *SmartDIMM) NewConn(u ULP, id, msgSize int) (*Conn, error) {
+	if b.Sys.Driver == nil {
+		return nil, fmt.Errorf("offload: system has no SmartDIMM")
+	}
+	size := LayoutFor(u).BufBytes(msgSize)
+	pages := (size + core.PageSize - 1) / core.PageSize
+	src, err := b.Sys.Driver.AllocPages(pages)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := b.Sys.Driver.AllocPages(pages)
+	if err != nil {
+		return nil, err
+	}
+	key, iv := connKey(id)
+	return &Conn{ID: id, U: u, Src: src, Dst: dst, Size: size, Key: key, ivBase: iv,
+		onSmartDIMM: true}, nil
+}
+
+// Process implements Backend.
+func (b *SmartDIMM) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
+	var res Result
+	drv := b.Sys.Driver
+	l := LayoutFor(u)
+	for k, n := range l.Chunks(payloadLen) {
+		sbuf := conn.Src + uint64(k*l.SrcStride)
+		dbuf := conn.Dst + uint64(k*l.DstStride)
+		var ctx *core.OffloadContext
+		var size int
+		ordered := false
+		switch u {
+		case TLS:
+			iv := conn.NextIV()
+			g, err := aesgcm.NewGCM(conn.Key)
+			if err != nil {
+				return res, err
+			}
+			eiv, err := g.EIV(iv)
+			if err != nil {
+				return res, err
+			}
+			ctx = &core.OffloadContext{
+				Op: core.OpTLSEncrypt,
+				TLS: &core.TLSContext{
+					Direction: aesgcm.Encrypt, Key: conn.Key, IV: iv,
+					H: g.H(), EIV: eiv, AAD: tlsAAD(n), PayloadLen: n,
+				},
+				Length: n,
+			}
+			size = n + core.TagSize
+			res.TXBytes += TLSRecordHeader + n + core.TagSize
+			res.DstSpans = append(res.DstSpans, Span{Off: k * l.DstStride, Len: n + core.TagSize})
+		case Compression:
+			ctx = &core.OffloadContext{Op: core.OpCompress, Length: n}
+			size = core.PageSize
+			ordered = true
+		}
+		lat, err := drv.CompCpy(coreID, dbuf, sbuf, size, ctx, ordered)
+		if err != nil {
+			return res, err
+		}
+		res.CPUPs += lat
+		if u == Compression {
+			// Wire bytes: the compressed payload length from the page
+			// header. Flush just that line so the DMA peek observes the
+			// DSA's output rather than the stale cached copy.
+			flat, err := b.Sys.Hier.Flush(dbuf, 64)
+			if err != nil {
+				return res, err
+			}
+			res.CPUPs += flat
+			page, _, err := b.Sys.DMAOut(dbuf, 64)
+			if err != nil {
+				return res, err
+			}
+			clen, err := core.CompressedPayloadLen(page)
+			if err != nil {
+				return res, err
+			}
+			res.TXBytes += 4 + clen
+			res.DstSpans = append(res.DstSpans, Span{Off: k * l.DstStride, Len: 4 + clen})
+		}
+		res.Records++
+	}
+	res.DstFlushNeeded = true
+	return res, nil
+}
+
+// --- Adaptive backend -----------------------------------------------------
+
+// Adaptive is the §V-C policy: probe the LLC miss rate periodically and
+// offload to SmartDIMM only under contention, processing on the CPU
+// otherwise.
+type Adaptive struct {
+	Sys           *sim.System
+	CPUBackend    *CPU
+	DIMM          *SmartDIMM
+	ProbeInterval int // requests between miss-rate samples
+
+	reqs         int
+	offloading   bool
+	OffloadedN   uint64
+	OnCPUN       uint64
+	LastMissRate float64
+}
+
+// Name implements Backend.
+func (b *Adaptive) Name() string { return "SmartDIMM-adaptive" }
+
+// Supports implements Backend.
+func (b *Adaptive) Supports(ULP) bool { return true }
+
+// InlineSource implements Backend: both adaptive paths read the on-DIMM
+// page cache directly.
+func (b *Adaptive) InlineSource() bool { return true }
+
+// NewConn implements Backend: buffers live on SmartDIMM so both paths
+// can use them (its capacity counts toward system memory, Benefit B2).
+func (b *Adaptive) NewConn(u ULP, id, msgSize int) (*Conn, error) {
+	return b.DIMM.NewConn(u, id, msgSize)
+}
+
+// Process implements Backend.
+func (b *Adaptive) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
+	interval := b.ProbeInterval
+	if interval <= 0 {
+		interval = 64
+	}
+	if b.reqs%interval == 0 {
+		b.LastMissRate = b.Sys.LLCMissRateSample()
+		b.offloading = b.LastMissRate >= b.Sys.Params.AdaptiveMissRateThreshold
+	}
+	b.reqs++
+	if b.offloading {
+		b.OffloadedN++
+		return b.DIMM.Process(u, coreID, conn, payloadLen)
+	}
+	b.OnCPUN++
+	return b.CPUBackend.Process(u, coreID, conn, payloadLen)
+}

@@ -1,0 +1,105 @@
+// Package power is the analytic area/power model of §VII-D: the paper
+// reports 4.78W of dynamic power for the SmartDIMM FPGA prototype at
+// full DDR channel utilization, ~0.92W average across benchmarks at the
+// observed <30% channel utilization, and ~21.8% FPGA resource usage for
+// the TLS offload. The model reproduces the utilization relationship
+// (activity-based dynamic power) and itemizes the buffer-device blocks.
+package power
+
+// Block is one buffer-device component's contribution.
+type Block struct {
+	Name string
+	// DynamicWattsAtFull is the block's dynamic power at 100% channel
+	// utilization.
+	DynamicWattsAtFull float64
+	// FPGAPercent is the share of FPGA resources (LUT-equivalent).
+	FPGAPercent float64
+}
+
+// Model is the SmartDIMM buffer-device power/area model.
+type Model struct {
+	Blocks []Block
+	// StaticWatts is utilization-independent (clocking, PHYs idle).
+	StaticWatts float64
+}
+
+// PaperModel itemizes the §IV-C blocks against the §VII-D totals: the
+// block split is our estimate (the paper reports only totals), chosen so
+// the totals match: sum of dynamic = 4.78W, TLS-offload blocks = 21.8%
+// of FPGA resources.
+func PaperModel() Model {
+	return Model{
+		StaticWatts: 0.35,
+		Blocks: []Block{
+			{Name: "DDR PHY + slot decoder", DynamicWattsAtFull: 1.30, FPGAPercent: 6.0},
+			{Name: "MIG PHY", DynamicWattsAtFull: 1.10, FPGAPercent: 5.5},
+			{Name: "Arbiter + bank table", DynamicWattsAtFull: 0.28, FPGAPercent: 1.5},
+			{Name: "Translation table (cuckoo + CAM)", DynamicWattsAtFull: 0.30, FPGAPercent: 2.0},
+			{Name: "Scratchpad SRAM (8MB)", DynamicWattsAtFull: 0.55, FPGAPercent: 3.0},
+			{Name: "Config memory (8MB)", DynamicWattsAtFull: 0.25, FPGAPercent: 2.0},
+			{Name: "TLS DSA (AES-GCM pipeline)", DynamicWattsAtFull: 0.75, FPGAPercent: 9.0},
+			{Name: "GF multiplier + GHASH", DynamicWattsAtFull: 0.25, FPGAPercent: 4.3},
+		},
+	}
+}
+
+// DynamicAtFullWatts returns total dynamic power at 100% utilization.
+func (m Model) DynamicAtFullWatts() float64 {
+	sum := 0.0
+	for _, b := range m.Blocks {
+		sum += b.DynamicWattsAtFull
+	}
+	return sum
+}
+
+// PowerAt returns total power at the given DDR channel utilization
+// (0..1): static plus activity-proportional dynamic power.
+func (m Model) PowerAt(utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	return m.StaticWatts + m.DynamicAtFullWatts()*utilization
+}
+
+// AddedPowerAt returns the power SmartDIMM adds over a plain AxDIMM at
+// the given utilization (static overhead excluded — the AxDIMM baseline
+// already pays its PHYs' idle power). The paper quotes ~0.92W averaged
+// across benchmarks at <30% channel utilization.
+func (m Model) AddedPowerAt(utilization float64) float64 {
+	// PHY blocks exist on the plain AxDIMM too; SmartDIMM's additions
+	// are the arbiter, tables, scratchpad, config memory, and DSAs —
+	// plus a small static clock-tree overhead for the added logic.
+	const addedStatic = 0.2
+	added := 0.0
+	for _, b := range m.Blocks {
+		switch b.Name {
+		case "DDR PHY + slot decoder", "MIG PHY":
+			continue
+		}
+		added += b.DynamicWattsAtFull
+	}
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	return addedStatic + added*utilization
+}
+
+// TLSOffloadFPGAPercent returns the FPGA share of the TLS offload path
+// (everything except the PHYs the AxDIMM already has).
+func (m Model) TLSOffloadFPGAPercent() float64 {
+	sum := 0.0
+	for _, b := range m.Blocks {
+		switch b.Name {
+		case "DDR PHY + slot decoder", "MIG PHY":
+			continue
+		}
+		sum += b.FPGAPercent
+	}
+	return sum
+}

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"repro/internal/sim"
+	"repro/internal/wrkgen"
+)
+
+// RunClosedLoop drives the server with a wrk-style closed-loop generator
+// for warmup + measurement windows and returns the measured metrics.
+// The caller supplies the assembled system inside cfg.Sys.
+func RunClosedLoop(cfg Config, warmupPs, measurePs int64) (Metrics, error) {
+	eng := sim.NewEngine()
+	srv, err := New(eng, cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	gen := wrkgen.New(eng, srv, wrkgen.Config{
+		Connections: cfg.Connections,
+		ThinkPs:     int64(cfg.Sys.Params.RTTUs * float64(sim.Us)),
+	})
+	gen.Start()
+	eng.RunUntil(warmupPs)
+	srv.BeginMeasurement()
+	gen.BeginMeasurement()
+	eng.RunUntil(warmupPs + measurePs)
+	m := srv.Collect()
+	return m, nil
+}

@@ -1,0 +1,386 @@
+// Package server models the Nginx web server of the paper's evaluation
+// (§VI): a fixed pool of worker threads serving persistent connections,
+// reading response bodies from a page-cache region, running the ULP
+// through a pluggable accelerator placement (internal/offload), and
+// transmitting over a shared NIC link. All memory traffic executes
+// against the functional memory system, so requests-per-second, CPU
+// utilization, and memory bandwidth (Fig. 3, 11, 12, Table I) are
+// measured outcomes.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/corpus"
+	"repro/internal/offload"
+	"repro/internal/sim"
+)
+
+// Mode selects what the server does to response bodies.
+type Mode int
+
+// Serving modes.
+const (
+	PlainHTTP Mode = iota // sendfile-style, no ULP
+	HTTPSMode             // TLS via the configured backend
+	CompressedHTTP
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case PlainHTTP:
+		return "http"
+	case HTTPSMode:
+		return "https"
+	default:
+		return "http+deflate"
+	}
+}
+
+// ulp maps a mode to its offload ULP.
+func (m Mode) ulp() offload.ULP {
+	if m == HTTPSMode {
+		return offload.TLS
+	}
+	return offload.Compression
+}
+
+// Config assembles one server instance.
+type Config struct {
+	Sys     *sim.System
+	Backend offload.Backend // nil is allowed for PlainHTTP
+	Mode    Mode
+	Workers int // paper: 10 threads pinned to 10 cores
+	MsgSize int // response body size (the paper's "message size")
+	// Connections is used to size the page-cache working set: each
+	// connection serves a distinct file region, which is what creates
+	// LLC capacity pressure as connection counts grow (Fig. 3).
+	Connections int
+	FileKind    corpus.Kind
+	Seed        int64
+}
+
+// connState is the per-connection server state.
+type connState struct {
+	id       int
+	oconn    *offload.Conn // nil in PlainHTTP mode
+	filePage uint64        // page-cache address of this connection's file
+	payload  []byte        // the file content (for staging)
+}
+
+// Metrics are the measured outcomes of a run.
+type Metrics struct {
+	Requests     uint64
+	ElapsedPs    int64
+	RPS          float64
+	CPUBusyPs    int64
+	CPUUtil      float64 // busy / (workers * elapsed)
+	MemBytes     uint64
+	MemBWGBps    float64
+	TXBytes      uint64
+	MeanLatPs    int64
+	DeviceBusyPs int64
+}
+
+// Server is the Nginx model; it implements wrkgen.Target.
+type Server struct {
+	cfg   Config
+	eng   *sim.Engine
+	conns []*connState
+	rng   *rand.Rand
+
+	idleWorkers int
+	queue       []pendingReq
+
+	// link transmitter occupancy (shared NIC)
+	linkBusyPs int64
+
+	// measurement
+	measuring    bool
+	measureFrom  int64
+	memBase      uint64
+	cpuBusyPs    int64
+	deviceBusyPs int64
+	requests     uint64
+	txBytes      uint64
+	latSumPs     int64
+}
+
+type pendingReq struct {
+	connID int
+	done   func()
+	at     int64
+	ctx    *reqCtx // non-nil when re-entering a staged request
+}
+
+// New builds the server and its connections (allocating buffers and the
+// page-cache working set).
+func New(eng *sim.Engine, cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 10
+	}
+	if cfg.Connections <= 0 {
+		return nil, fmt.Errorf("server: need connections")
+	}
+	if cfg.MsgSize <= 0 {
+		return nil, fmt.Errorf("server: need message size")
+	}
+	s := &Server{
+		cfg: cfg, eng: eng, idleWorkers: cfg.Workers,
+		rng: rand.New(rand.NewSource(cfg.Seed + 99)),
+	}
+	inline := cfg.Mode != PlainHTTP && cfg.Backend != nil && cfg.Backend.InlineSource()
+	for id := 0; id < cfg.Connections; id++ {
+		c := &connState{id: id}
+		c.payload = corpus.Generate(cfg.FileKind, cfg.MsgSize, cfg.Seed+int64(id))
+		if cfg.Mode != PlainHTTP {
+			if cfg.Backend == nil {
+				return nil, fmt.Errorf("server: mode %v needs a backend", cfg.Mode)
+			}
+			if !cfg.Backend.Supports(cfg.Mode.ulp()) {
+				return nil, fmt.Errorf("server: %s cannot offload %v", cfg.Backend.Name(), cfg.Mode.ulp())
+			}
+			oc, err := cfg.Backend.NewConn(cfg.Mode.ulp(), id, cfg.MsgSize)
+			if err != nil {
+				return nil, fmt.Errorf("server: conn %d: %w", id, err)
+			}
+			c.oconn = oc
+		}
+		if inline {
+			// The page cache lives in conn.Src on the SmartDIMM itself
+			// (Benefit B2); CompCpy consumes it without a staging copy.
+			c.filePage = c.oconn.Src
+			if err := offload.StagePayloadDMA(cfg.Sys, c.oconn, c.payload); err != nil {
+				return nil, err
+			}
+		} else {
+			addr, err := cfg.Sys.AllocPlain(cfg.MsgSize)
+			if err != nil {
+				return nil, fmt.Errorf("server: page cache: %w", err)
+			}
+			c.filePage = addr
+			// Populate the page cache via storage DMA (DDIO).
+			if err := cfg.Sys.DMAIn(addr, c.payload); err != nil {
+				return nil, err
+			}
+		}
+		s.conns = append(s.conns, c)
+	}
+	return s, nil
+}
+
+// Submit implements wrkgen.Target.
+func (s *Server) Submit(connID int, done func()) {
+	s.queue = append(s.queue, pendingReq{connID: connID, done: done, at: s.eng.Now()})
+	s.dispatch()
+}
+
+// dispatch hands queued requests to idle workers.
+func (s *Server) dispatch() {
+	for s.idleWorkers > 0 && len(s.queue) > 0 {
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.idleWorkers--
+		if req.ctx != nil {
+			s.runStage(req.ctx)
+		} else {
+			s.serve(req)
+		}
+	}
+}
+
+// reqCtx carries a request through its pipeline stages. Stages execute
+// as separate work items so different connections' stages interleave on
+// the workers — modelling the asynchronicity between the storage stack,
+// the ULP layer, and TCP processing that creates the ping-pong cache
+// behaviour of Fig. 1/Observation 3 (a request's data is evicted by
+// other connections' work between its own passes).
+type reqCtx struct {
+	req      pendingReq
+	conn     *connState
+	stage    int
+	cpu      int64 // accumulated CPU time
+	device   int64
+	txBytes  int
+	spans    []offload.Span
+	flushDst bool
+}
+
+// serve runs the request's current stage on a worker.
+func (s *Server) serve(req pendingReq) {
+	s.runStage(&reqCtx{req: req, conn: s.conns[req.connID%len(s.conns)]})
+}
+
+// requeue releases the worker after stageCPU+stageDev and re-enters the
+// request for its next stage (or completes it).
+func (s *Server) requeue(rc *reqCtx, stageCPU, stageDev int64, final bool) {
+	rc.cpu += stageCPU
+	rc.device += stageDev
+	s.eng.At(s.eng.Now()+stageCPU+stageDev, func() {
+		s.idleWorkers++
+		if !final {
+			rc.stage++
+			s.queueCtx(rc)
+		}
+		s.dispatch()
+	})
+}
+
+// queueCtx re-enters a staged request at the back of the work queue.
+func (s *Server) queueCtx(rc *reqCtx) {
+	s.queue = append(s.queue, pendingReq{connID: rc.req.connID, done: rc.req.done, at: rc.req.at, ctx: rc})
+}
+
+// runStage executes one pipeline stage synchronously against the memory
+// system and schedules the next.
+func (s *Server) runStage(rc *reqCtx) {
+	c := rc.conn
+	p := s.cfg.Sys.Params
+	coreID := workerCore(rc.req.connID)
+	fail := func(err error) {
+		panic(fmt.Sprintf("server: request on conn %d: %v", c.id, err))
+	}
+	inline := s.cfg.Mode != PlainHTTP && s.cfg.Backend.InlineSource()
+
+	switch rc.stage {
+	case 0: // parse + file fetch
+		cpu := p.HTTPParseNs * sim.Ns
+		var device int64
+		if s.rng.Float64() >= p.PageCacheHitRate {
+			device = int64(p.StorageReadUsPer4KB * float64(sim.Us) * float64((s.cfg.MsgSize+4095)/4096))
+			if inline {
+				if err := offload.StagePayloadDMA(s.cfg.Sys, c.oconn, c.payload); err != nil {
+					fail(err)
+				}
+			} else if err := s.cfg.Sys.DMAIn(c.filePage, c.payload); err != nil {
+				fail(err)
+			}
+		}
+		if s.cfg.Mode == PlainHTTP {
+			rc.stage++ // skip the copy and ULP stages
+		}
+		s.requeue(rc, cpu, device, false)
+
+	case 1: // app copy out of the page cache (skipped for inline)
+		var cpu int64
+		if !inline {
+			_, rdLat, err := s.cfg.Sys.ReadBytes(coreID, c.filePage, s.cfg.MsgSize)
+			if err != nil {
+				fail(err)
+			}
+			stageLat, err := offload.StagePayloadCPU(s.cfg.Sys, coreID, c.oconn, c.payload)
+			if err != nil {
+				fail(err)
+			}
+			cpu = rdLat + stageLat
+		}
+		s.requeue(rc, cpu, 0, false)
+
+	case 2: // ULP processing (PlainHTTP jumps straight to stage 2 as TX)
+		if s.cfg.Mode == PlainHTTP {
+			s.transmit(rc, c.filePage, s.cfg.MsgSize,
+				[]offload.Span{{Off: 0, Len: s.cfg.MsgSize}})
+			return
+		}
+		res, err := s.cfg.Backend.Process(s.cfg.Mode.ulp(), coreID, c.oconn, s.cfg.MsgSize)
+		if err != nil {
+			fail(err)
+		}
+		rc.spans = res.DstSpans
+		rc.txBytes = res.TXBytes
+		rc.flushDst = res.DstFlushNeeded
+		s.requeue(rc, res.CPUPs, res.DevicePs, false)
+
+	case 3: // transmission
+		s.transmit(rc, c.oconn.Dst, rc.txBytes, rc.spans)
+	}
+}
+
+// transmit performs the TX stage: NIC DMA, per-packet kernel costs, and
+// shared-link serialization; completes the request.
+func (s *Server) transmit(rc *reqCtx, base uint64, txBytes int, spans []offload.Span) {
+	p := s.cfg.Sys.Params
+	var cpuFlush int64
+	if rc.flushDst {
+		// USE step of Algorithm 2: write back the stale cached copies so
+		// TX DMA observes the DSA output. Under contention most lines
+		// already left the LLC (self-recycled), making this flush cheap
+		// (the §IV-A residency effect).
+		for _, sp := range spans {
+			l, err := s.cfg.Sys.Hier.Flush(base+uint64(sp.Off), sp.Len)
+			if err != nil {
+				panic(fmt.Sprintf("server: dst flush: %v", err))
+			}
+			cpuFlush += l
+		}
+	}
+	var dmaLat int64
+	for _, sp := range spans {
+		_, l, err := s.cfg.Sys.DMAOut(base+uint64(sp.Off), sp.Len)
+		if err != nil {
+			panic(fmt.Sprintf("server: TX DMA: %v", err))
+		}
+		dmaLat += l
+	}
+	segs := p.SegmentsFor(txBytes)
+	cpu := cpuFlush + p.SyscallNs*sim.Ns + int64(segs)*p.PerPacketCPUNs*sim.Ns
+
+	now := s.eng.Now()
+	wireStart := now + cpu
+	if s.linkBusyPs > wireStart {
+		wireStart = s.linkBusyPs
+	}
+	// The NIC's TX DMA overlaps with other responses' wire time; only
+	// the serialization occupies the shared link.
+	s.linkBusyPs = wireStart + p.LinkSerializationPs(txBytes+segs*40)
+	wireDone := s.linkBusyPs + dmaLat
+
+	rc.cpu += cpu
+	if s.measuring {
+		s.cpuBusyPs += rc.cpu
+		s.deviceBusyPs += rc.device
+		s.requests++
+		s.txBytes += uint64(txBytes)
+		s.latSumPs += wireDone - rc.req.at
+	}
+	s.eng.At(now+cpu, func() {
+		s.idleWorkers++
+		s.dispatch()
+	})
+	s.eng.At(wireDone, rc.req.done)
+}
+
+// workerCore maps a connection to a core id for trace attribution.
+func workerCore(connID int) int { return connID % 10 }
+
+// BeginMeasurement snapshots counters after warmup.
+func (s *Server) BeginMeasurement() {
+	s.measuring = true
+	s.measureFrom = s.eng.Now()
+	s.memBase = s.cfg.Sys.MemoryBytesMoved()
+	s.cpuBusyPs, s.deviceBusyPs, s.requests, s.txBytes, s.latSumPs = 0, 0, 0, 0, 0
+}
+
+// Collect returns the metrics accumulated since BeginMeasurement.
+func (s *Server) Collect() Metrics {
+	elapsed := s.eng.Now() - s.measureFrom
+	m := Metrics{
+		Requests:     s.requests,
+		ElapsedPs:    elapsed,
+		CPUBusyPs:    s.cpuBusyPs,
+		DeviceBusyPs: s.deviceBusyPs,
+		MemBytes:     s.cfg.Sys.MemoryBytesMoved() - s.memBase,
+		TXBytes:      s.txBytes,
+	}
+	if elapsed > 0 {
+		m.RPS = float64(s.requests) / (float64(elapsed) * 1e-12)
+		m.CPUUtil = float64(s.cpuBusyPs) / (float64(s.cfg.Workers) * float64(elapsed))
+		m.MemBWGBps = float64(m.MemBytes) / (float64(elapsed) * 1e-12) / 1e9
+	}
+	if s.requests > 0 {
+		m.MeanLatPs = s.latSumPs / int64(s.requests)
+	}
+	return m
+}

@@ -1,0 +1,156 @@
+// Package sim provides the discrete-event simulation kernel the system
+// models run on (network, server, co-runners), plus the calibration
+// parameters that map the paper's testbed components onto model costs
+// (params.go).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   int64 // picoseconds
+	seq  uint64
+	fn   func()
+	dead *bool
+}
+
+// eventHeap orders events by time, then insertion order for determinism.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler with picosecond
+// resolution.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	ran    uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in picoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Processed returns how many events have run.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Cancel is returned by At/After; calling it prevents the event from
+// firing (idempotent).
+type Cancel func()
+
+// At schedules fn at absolute time t (>= Now, else it runs at Now).
+func (e *Engine) At(t int64, fn func()) Cancel {
+	if t < e.now {
+		t = e.now
+	}
+	dead := new(bool)
+	ev := &event{at: t, seq: e.seq, fn: fn, dead: dead}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return func() { *dead = true }
+}
+
+// After schedules fn delta picoseconds from now.
+func (e *Engine) After(delta int64, fn func()) Cancel {
+	return e.At(e.now+delta, fn)
+}
+
+// Step runs the next event; it reports whether one was run.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if *ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.ran++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events until the queue is empty or time exceeds
+// deadline. It returns the number of events processed.
+func (e *Engine) RunUntil(deadline int64) uint64 {
+	n := uint64(0)
+	for e.events.Len() > 0 {
+		next := e.peekTime()
+		if next > deadline {
+			break
+		}
+		if e.Step() {
+			n++
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// Run processes events until none remain. It guards against runaway
+// simulations with a generous event cap.
+func (e *Engine) Run() uint64 {
+	const cap = 500_000_000
+	n := uint64(0)
+	for e.Step() {
+		n++
+		if n > cap {
+			panic(fmt.Sprintf("sim: runaway simulation (> %d events)", uint64(cap)))
+		}
+	}
+	return n
+}
+
+func (e *Engine) peekTime() int64 {
+	for e.events.Len() > 0 {
+		if *(e.events[0].dead) {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at
+	}
+	return 1<<63 - 1
+}
+
+// Pending returns the number of live queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !*ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Time helpers.
+const (
+	Ns = int64(1_000)
+	Us = int64(1_000_000)
+	Ms = int64(1_000_000_000)
+	S  = int64(1_000_000_000_000)
+)

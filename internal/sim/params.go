@@ -1,0 +1,154 @@
+package sim
+
+// Params collects every calibration constant of the reproduction in one
+// place, each annotated with its source. The absolute values matter less
+// than the ratios they induce — the reproduction brief is shape fidelity
+// (winner ordering, approximate factors, crossover points), not absolute
+// testbed numbers.
+type Params struct {
+	// --- CPU ---------------------------------------------------------
+
+	// CPUClockGHz is the core clock (Xeon Gold 6242: 2.8 GHz base).
+	CPUClockGHz float64
+	// AESNIBytesPerCycle is AES-GCM throughput with AES-NI+PCLMULQDQ.
+	// Gueron reports ~0.75-1.0 cycles/byte on Skylake-era cores for
+	// AES-GCM; we use 1.0 cycle/byte => 1.0 bytes/cycle inverse.
+	AESNICyclesPerByte float64
+	// AESSetupCycles is per-record setup (key schedule reuse, IV, final
+	// tag handling) on the CPU path.
+	AESSetupCycles float64
+	// DeflateCyclesPerByte is software deflate at nginx's default
+	// gzip_comp_level=1 (~200MB/s at 2.8GHz => ~14 cycles/byte).
+	DeflateCyclesPerByte float64
+	// InflateCyclesPerByte for the receive path (~300MB/s => ~9).
+	InflateCyclesPerByte float64
+	// HTTPParseNs is per-request parse + app logic time.
+	HTTPParseNs int64
+	// SyscallNs models the socket write + kernel TCP path per response
+	// segment batch.
+	SyscallNs int64
+
+	// --- SmartNIC (ConnectX-6 autonomous TLS offload, Pismenny et al.)
+
+	// NICCryptoSetupNs is the per-record offload bookkeeping on the CPU
+	// (building the TLS record state the NIC tracks).
+	NICCryptoSetupNs int64
+	// NICResyncUs is the driver/firmware resynchronization cost when a
+	// retransmission or reorder desynchronizes the inline engine; the
+	// affected record falls back to CPU encryption.
+	NICResyncUs int64
+
+	// --- QuickAssist (PCIe 8970) --------------------------------------
+
+	// QATSetupNs: descriptor build + doorbell MMIO write.
+	QATSetupNs int64
+	// QATCompletionNs: polling/interrupt completion detection cost on
+	// the CPU (Observation 2: the notification mechanism bottlenecks
+	// PCIe offload).
+	QATCompletionNs int64
+	// QATPCIeRTTUs: request->response PCIe round trip (DMA descriptors
+	// both ways) excluding payload transfer.
+	QATPCIeRTTUs float64
+	// QATPCIeGBps: effective PCIe payload bandwidth (x8 Gen3 ~ 7.9GB/s).
+	QATPCIeGBps float64
+
+	// --- SmartDIMM -----------------------------------------------------
+
+	// DSATLSBytesPerCycle: the TLS DSA sustains DDR line rate (validated
+	// on the AxDIMM prototype, §VI): 64B per buffer-device cycle.
+	DSATLSBytesPerCycle float64
+	// AdaptiveMissRateThreshold: LLC miss rate above which the OpenSSL
+	// engine offloads to SmartDIMM (§V-C; configurable).
+	AdaptiveMissRateThreshold float64
+
+	// --- Network --------------------------------------------------------
+
+	// LinkGbps is the NIC line rate (100GbE).
+	LinkGbps float64
+	// MTUBytes is the TCP MSS+headers on the wire.
+	MTUBytes int
+	// RTTUs is the in-rack round trip.
+	RTTUs float64
+	// PerPacketCPUNs is the kernel TCP/IP per-packet processing cost.
+	PerPacketCPUNs int64
+
+	// --- Storage ---------------------------------------------------------
+
+	// StorageReadUsPer4KB models the page-cache-miss path for file reads
+	// (NVMe ~ 10us/4KB at QD1 amortized).
+	StorageReadUsPer4KB float64
+	// PageCacheHitRate is how often file data is already in the page
+	// cache (memory) rather than storage.
+	PageCacheHitRate float64
+}
+
+// DefaultParams returns the calibration used throughout the evaluation.
+func DefaultParams() Params {
+	return Params{
+		CPUClockGHz:          2.8,
+		AESNICyclesPerByte:   1.0,
+		AESSetupCycles:       1500,
+		DeflateCyclesPerByte: 14,
+		InflateCyclesPerByte: 9,
+		HTTPParseNs:          2000,
+		SyscallNs:            1500,
+
+		NICCryptoSetupNs: 1500,
+		NICResyncUs:      100,
+
+		QATSetupNs:      2500,
+		QATCompletionNs: 3000,
+		QATPCIeRTTUs:    4.0,
+		QATPCIeGBps:     7.9,
+
+		DSATLSBytesPerCycle:       64,
+		AdaptiveMissRateThreshold: 0.10,
+
+		LinkGbps:       100,
+		MTUBytes:       1500,
+		RTTUs:          12,
+		PerPacketCPUNs: 300,
+
+		StorageReadUsPer4KB: 10,
+		PageCacheHitRate:    0.95,
+	}
+}
+
+// CyclesToPs converts CPU cycles to picoseconds at the configured clock.
+func (p Params) CyclesToPs(cycles float64) int64 {
+	return int64(cycles * 1000 / p.CPUClockGHz)
+}
+
+// AESGCMComputePs returns the pure-compute time for AES-NI over n bytes.
+func (p Params) AESGCMComputePs(n int) int64 {
+	return p.CyclesToPs(p.AESSetupCycles + p.AESNICyclesPerByte*float64(n))
+}
+
+// DeflateComputePs returns software deflate compute time for n bytes.
+func (p Params) DeflateComputePs(n int) int64 {
+	return p.CyclesToPs(p.DeflateCyclesPerByte * float64(n))
+}
+
+// InflateComputePs returns software inflate compute time for n bytes.
+func (p Params) InflateComputePs(n int) int64 {
+	return p.CyclesToPs(p.InflateCyclesPerByte * float64(n))
+}
+
+// PCIeTransferPs returns payload transfer time over the QAT link.
+func (p Params) PCIeTransferPs(n int) int64 {
+	return int64(float64(n) / (p.QATPCIeGBps * 1e9) * 1e12)
+}
+
+// LinkSerializationPs returns wire time for n bytes at line rate.
+func (p Params) LinkSerializationPs(n int) int64 {
+	return int64(float64(n*8) / (p.LinkGbps * 1e9) * 1e12)
+}
+
+// SegmentsFor returns how many MTU-sized packets carry n payload bytes.
+func (p Params) SegmentsFor(n int) int {
+	mss := p.MTUBytes - 40 // IP+TCP headers
+	if mss <= 0 {
+		mss = 1460
+	}
+	return (n + mss - 1) / mss
+}

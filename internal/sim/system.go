@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+)
+
+// SystemConfig assembles a full host: LLC, memory channels (the first
+// optionally a SmartDIMM), and calibration parameters.
+type SystemConfig struct {
+	Params Params
+	// LLCBytes/LLCWays size the shared LLC; zero selects the testbed
+	// default (22MB, 11 ways).
+	LLCBytes int
+	LLCWays  int
+	// Geometry for each DIMM; zero value selects SmallGeometry (128MB),
+	// which keeps simulations fast while exercising all mechanisms.
+	Geometry dram.Geometry
+	// WithSmartDIMM installs a SmartDIMM as channel 0.
+	WithSmartDIMM bool
+	// DeviceConfig overrides the SmartDIMM configuration; zero selects
+	// PaperDeviceConfig.
+	DeviceConfig *core.DeviceConfig
+	// ExtraChannels adds plain DIMMs after channel 0.
+	ExtraChannels int
+	// TraceCAS attaches a CAS trace to channel 0 (Fig. 9).
+	TraceCAS int // max events; 0 disables
+}
+
+// System is the assembled host model shared by the offload backends and
+// the server model.
+type System struct {
+	Params  Params
+	Engine  *Engine
+	Hier    *memsys.Hierarchy
+	Dev     *core.Device // nil without SmartDIMM
+	Driver  *core.Driver // nil without SmartDIMM
+	Trace   *stats.CASTrace
+	BWMeter *stats.BandwidthMeter
+
+	// allocator for plain (non-SmartDIMM) buffer space: the region of
+	// channel 0 (or channel 1 when SmartDIMM owns channel 0) used for
+	// page-cache and connection buffers.
+	nextPlain uint64
+	plainEnd  uint64
+}
+
+// NewSystem builds the host.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.LLCBytes == 0 {
+		def := cache.DefaultXeonLLC()
+		cfg.LLCBytes, cfg.LLCWays = def.SizeBytes, def.Ways
+	}
+	if cfg.Geometry.Ranks == 0 {
+		cfg.Geometry = dram.SmallGeometry()
+	}
+	llc, err := cache.New(cache.Config{
+		SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays,
+		WayMask: [2]uint64{cache.ClassDMA: 0b11},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{Params: cfg.Params, Engine: NewEngine()}
+	var chans []memsys.Channel
+
+	meter := &stats.BandwidthMeter{PeakBytesPerSec: 25.6e9} // DDR4-3200 x1
+	sys.BWMeter = meter
+
+	if cfg.WithSmartDIMM {
+		dc := core.PaperDeviceConfig(cfg.Geometry)
+		if cfg.DeviceConfig != nil {
+			dc = *cfg.DeviceConfig
+		}
+		dev, err := core.NewDevice(dc)
+		if err != nil {
+			return nil, err
+		}
+		sys.Dev = dev
+		ctl := memctrl.New(memctrl.DefaultConfig(), dev)
+		ctl.Meter = meter
+		if cfg.TraceCAS > 0 {
+			sys.Trace = &stats.CASTrace{Limit: cfg.TraceCAS}
+			ctl.Trace = sys.Trace
+		}
+		chans = append(chans, memsys.Channel{Ctl: ctl, Mod: dev})
+	} else {
+		d, err := dram.NewPlainDIMM(cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		ctl := memctrl.New(memctrl.DefaultConfig(), d)
+		ctl.Meter = meter
+		if cfg.TraceCAS > 0 {
+			sys.Trace = &stats.CASTrace{Limit: cfg.TraceCAS}
+			ctl.Trace = sys.Trace
+		}
+		chans = append(chans, memsys.Channel{Ctl: ctl, Mod: d})
+	}
+	for i := 0; i < cfg.ExtraChannels; i++ {
+		d, err := dram.NewPlainDIMM(cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		chans = append(chans, memsys.Channel{Ctl: memctrl.New(memctrl.DefaultConfig(), d), Mod: d})
+	}
+	hier, err := memsys.New(llc, chans...)
+	if err != nil {
+		return nil, err
+	}
+	hier.Clock = sys.Engine.Now
+	sys.Hier = hier
+
+	devCap := cfg.Geometry.CapacityBytes()
+	if cfg.WithSmartDIMM {
+		sys.Driver = core.NewDriver(hier, 0, devCap, 1)
+		// Plain buffers (page cache, connection buffers: the OS using
+		// SmartDIMM capacity as regular memory, Benefit B2) share the
+		// device range with offload buffers: offloads take the lower
+		// half, plain memory the upper half below the MMIO page. With
+		// extra channels, plain memory moves entirely off the SmartDIMM.
+		if cfg.ExtraChannels > 0 {
+			sys.nextPlain = devCap
+			sys.plainEnd = uint64(1+cfg.ExtraChannels) * devCap
+		} else {
+			sys.Driver.SetAllocRange(0, devCap/2)
+			sys.nextPlain = devCap / 2
+			sys.plainEnd = devCap - dram.PageSize
+		}
+	} else {
+		sys.nextPlain = 0
+		sys.plainEnd = uint64(1+cfg.ExtraChannels) * devCap
+	}
+	return sys, nil
+}
+
+// AllocPlain reserves n bytes (page-aligned) of regular memory for page
+// cache and connection buffers.
+func (s *System) AllocPlain(n int) (uint64, error) {
+	pages := uint64((n + dram.PageSize - 1) / dram.PageSize)
+	addr := s.nextPlain
+	if addr+pages*dram.PageSize > s.plainEnd {
+		return 0, fmt.Errorf("sim: plain memory exhausted")
+	}
+	s.nextPlain += pages * dram.PageSize
+	return addr, nil
+}
+
+// MemMLP is the memory-level parallelism of bulk sequential accesses:
+// an out-of-order core overlaps several outstanding cacheline misses,
+// so the time of an N-line stream is the summed latency divided by the
+// achievable MLP, not the serial sum.
+const MemMLP = 4
+
+// WriteBytes copies data into memory through the cache (CPU writes).
+func (s *System) WriteBytes(core int, addr uint64, data []byte) (int64, error) {
+	var lat int64
+	var line [dram.CachelineSize]byte
+	for off := 0; off < len(data); off += dram.CachelineSize {
+		n := copy(line[:], data[off:])
+		for i := n; i < dram.CachelineSize; i++ {
+			line[i] = 0
+		}
+		l, err := s.Hier.Write64(core, addr+uint64(off), line[:])
+		if err != nil {
+			return 0, err
+		}
+		lat += l
+	}
+	return lat / MemMLP, nil
+}
+
+// ReadBytes reads n bytes from memory through the cache (CPU reads).
+func (s *System) ReadBytes(core int, addr uint64, n int) ([]byte, int64, error) {
+	out := make([]byte, 0, n)
+	var lat int64
+	var line [dram.CachelineSize]byte
+	for off := 0; off < n; off += dram.CachelineSize {
+		l, err := s.Hier.Read64(core, addr+uint64(off), line[:])
+		if err != nil {
+			return nil, 0, err
+		}
+		lat += l
+		take := n - off
+		if take > dram.CachelineSize {
+			take = dram.CachelineSize
+		}
+		out = append(out, line[:take]...)
+	}
+	return out, lat / MemMLP, nil
+}
+
+// DMAIn models a device (NIC RX or storage) delivering data via DDIO.
+func (s *System) DMAIn(addr uint64, data []byte) error {
+	var line [dram.CachelineSize]byte
+	for off := 0; off < len(data); off += dram.CachelineSize {
+		n := copy(line[:], data[off:])
+		for i := n; i < dram.CachelineSize; i++ {
+			line[i] = 0
+		}
+		if err := s.Hier.DMAWrite64(addr+uint64(off), line[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DMAOut models NIC TX DMA reading n bytes, returning the data and the
+// aggregate device-side latency.
+func (s *System) DMAOut(addr uint64, n int) ([]byte, int64, error) {
+	out := make([]byte, 0, n)
+	var lat int64
+	var line [dram.CachelineSize]byte
+	for off := 0; off < n; off += dram.CachelineSize {
+		l, err := s.Hier.DMARead64(addr+uint64(off), line[:])
+		if err != nil {
+			return nil, 0, err
+		}
+		lat += l
+		take := n - off
+		if take > dram.CachelineSize {
+			take = dram.CachelineSize
+		}
+		out = append(out, line[:take]...)
+	}
+	// NIC DMA engines pipeline outstanding reads like a core's MLP.
+	return out, lat / MemMLP, nil
+}
+
+// MemoryBytesMoved returns total DRAM channel traffic on channel 0.
+func (s *System) MemoryBytesMoved() uint64 { return s.BWMeter.TotalBytes() }
+
+// LLCMissRateSample samples and resets the LLC miss-rate window — the
+// probe the adaptive policy uses (§V-C).
+func (s *System) LLCMissRateSample() float64 { return s.Hier.LLC.SampleMissRate() }

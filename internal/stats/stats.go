@@ -1,0 +1,273 @@
+// Package stats provides the measurement primitives used across the
+// SmartDIMM reproduction: counters, bandwidth meters, latency histograms
+// with percentile queries, time-series samplers, and DDR CAS-command trace
+// capture (used to regenerate Fig. 9 of the paper).
+//
+// All types are plain value types guarded by the caller unless documented
+// otherwise; the simulator is single-threaded per system instance, so the
+// hot-path types avoid locks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Gauge is a sampled instantaneous value that tracks its running
+// maximum, minimum and mean.
+type Gauge struct {
+	cur, min, max float64
+	sum           float64
+	samples       uint64
+}
+
+// Set records a new sample for the gauge.
+func (g *Gauge) Set(v float64) {
+	if g.samples == 0 {
+		g.min, g.max = v, v
+	} else {
+		if v < g.min {
+			g.min = v
+		}
+		if v > g.max {
+			g.max = v
+		}
+	}
+	g.cur = v
+	g.sum += v
+	g.samples++
+}
+
+// Value returns the most recent sample.
+func (g *Gauge) Value() float64 { return g.cur }
+
+// Max returns the largest sample seen so far, or 0 before any sample.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Min returns the smallest sample seen so far, or 0 before any sample.
+func (g *Gauge) Min() float64 { return g.min }
+
+// Mean returns the arithmetic mean of all samples, or 0 before any sample.
+func (g *Gauge) Mean() float64 {
+	if g.samples == 0 {
+		return 0
+	}
+	return g.sum / float64(g.samples)
+}
+
+// Samples returns how many times Set has been called.
+func (g *Gauge) Samples() uint64 { return g.samples }
+
+// BandwidthMeter accumulates bytes transferred against simulated time and
+// reports utilization against a configured peak rate. Time is expressed in
+// picoseconds, matching the DRAM model's clock resolution.
+type BandwidthMeter struct {
+	// PeakBytesPerSec is the theoretical peak of the measured channel.
+	PeakBytesPerSec float64
+
+	bytes      uint64
+	windowBase uint64 // cumulative bytes at the last Sample call
+	startPs    int64
+	lastPs     int64
+	started    bool
+	intervals  []BandwidthSample
+}
+
+// BandwidthSample is one windowed bandwidth observation.
+type BandwidthSample struct {
+	AtPs        int64   // window end time
+	BytesPerSec float64 // achieved bandwidth in the window
+}
+
+// Record accounts bytes transferred at simulated time nowPs.
+func (m *BandwidthMeter) Record(nowPs int64, bytes uint64) {
+	if !m.started {
+		m.startPs = nowPs
+		m.started = true
+	}
+	m.bytes += bytes
+	m.lastPs = nowPs
+}
+
+// Sample closes a measurement window at nowPs and stores the windowed rate.
+// Subsequent samples measure from the previous sample point.
+func (m *BandwidthMeter) Sample(nowPs int64) BandwidthSample {
+	var window int64
+	if len(m.intervals) == 0 {
+		window = nowPs - m.startPs
+	} else {
+		window = nowPs - m.intervals[len(m.intervals)-1].AtPs
+	}
+	s := BandwidthSample{AtPs: nowPs, BytesPerSec: ratePerSec(m.bytes-m.windowBase, window)}
+	m.intervals = append(m.intervals, s)
+	m.windowBase = m.bytes
+	return s
+}
+
+// TotalBytes returns all bytes recorded since creation.
+func (m *BandwidthMeter) TotalBytes() uint64 { return m.bytes }
+
+// MeanBytesPerSec returns the lifetime average transfer rate.
+func (m *BandwidthMeter) MeanBytesPerSec() float64 {
+	if !m.started || m.lastPs == m.startPs {
+		return 0
+	}
+	return ratePerSec(m.bytes, m.lastPs-m.startPs)
+}
+
+// Utilization returns mean bandwidth as a fraction of the configured peak,
+// or 0 when no peak is configured.
+func (m *BandwidthMeter) Utilization() float64 {
+	if m.PeakBytesPerSec == 0 {
+		return 0
+	}
+	return m.MeanBytesPerSec() / m.PeakBytesPerSec
+}
+
+// Samples returns the windowed samples captured so far.
+func (m *BandwidthMeter) Samples() []BandwidthSample { return m.intervals }
+
+func ratePerSec(bytes uint64, ps int64) float64 {
+	if ps <= 0 {
+		return 0
+	}
+	return float64(bytes) / (float64(ps) * 1e-12)
+}
+
+// Histogram is a latency/size histogram with exact percentile queries. It
+// stores raw samples; simulation runs are bounded so memory use is
+// acceptable and exact quantiles simplify validation against the paper.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank on the sorted samples. Returns 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 { return h.Percentile(100) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 { return h.Percentile(0) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = true
+	h.sum = 0
+}
+
+// TimeSeries captures (time, value) pairs for figures that plot a value
+// over time, such as Fig. 10's scratchpad occupancy curves.
+type TimeSeries struct {
+	Name   string
+	Points []SeriesPoint
+}
+
+// SeriesPoint is one (time, value) observation.
+type SeriesPoint struct {
+	AtPs  int64
+	Value float64
+}
+
+// Append records a point at simulated time atPs.
+func (t *TimeSeries) Append(atPs int64, v float64) {
+	t.Points = append(t.Points, SeriesPoint{AtPs: atPs, Value: v})
+}
+
+// Last returns the most recent value, or 0 when empty.
+func (t *TimeSeries) Last() float64 {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	return t.Points[len(t.Points)-1].Value
+}
+
+// MaxAfter returns the maximum value among points at or after fromPs.
+// It is used to check equilibrium occupancy in Fig. 10 after warmup.
+func (t *TimeSeries) MaxAfter(fromPs int64) float64 {
+	max := 0.0
+	for _, p := range t.Points {
+		if p.AtPs >= fromPs && p.Value > max {
+			max = p.Value
+		}
+	}
+	return max
+}
+
+// Downsample returns at most n points evenly spaced across the series,
+// which keeps figure dumps readable.
+func (t *TimeSeries) Downsample(n int) []SeriesPoint {
+	if n <= 0 || len(t.Points) <= n {
+		return t.Points
+	}
+	out := make([]SeriesPoint, 0, n)
+	step := float64(len(t.Points)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, t.Points[int(float64(i)*step)])
+	}
+	return out
+}
+
+// String renders a short summary of the series.
+func (t *TimeSeries) String() string {
+	return fmt.Sprintf("series %q: %d points, last=%.3f", t.Name, len(t.Points), t.Last())
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("new counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after reset = %d, want 0", c.Value())
+	}
+}
+
+func TestGaugeTracksExtremaAndMean(t *testing.T) {
+	var g Gauge
+	for _, v := range []float64{3, -1, 7, 5} {
+		g.Set(v)
+	}
+	if g.Min() != -1 || g.Max() != 7 {
+		t.Fatalf("min/max = %v/%v, want -1/7", g.Min(), g.Max())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("value = %v, want 5", g.Value())
+	}
+	if got, want := g.Mean(), 3.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if g.Samples() != 4 {
+		t.Fatalf("samples = %d, want 4", g.Samples())
+	}
+}
+
+func TestGaugeEmpty(t *testing.T) {
+	var g Gauge
+	if g.Mean() != 0 || g.Min() != 0 || g.Max() != 0 {
+		t.Fatal("empty gauge should report zeros")
+	}
+}
+
+func TestBandwidthMeterMeanRate(t *testing.T) {
+	m := BandwidthMeter{PeakBytesPerSec: 1e9}
+	m.Record(0, 0)
+	// 1000 bytes over 1 microsecond = 1e9 bytes/sec.
+	m.Record(1_000_000, 1000)
+	if got := m.MeanBytesPerSec(); math.Abs(got-1e9) > 1 {
+		t.Fatalf("mean rate = %v, want 1e9", got)
+	}
+	if got := m.Utilization(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("utilization = %v, want 1.0", got)
+	}
+}
+
+func TestBandwidthMeterWindows(t *testing.T) {
+	var m BandwidthMeter
+	m.Record(0, 0)
+	m.Record(500_000, 500) // 500 B in 0.5 us
+	s1 := m.Sample(1_000_000)
+	if math.Abs(s1.BytesPerSec-5e8) > 1 {
+		t.Fatalf("window1 = %v, want 5e8", s1.BytesPerSec)
+	}
+	m.Record(1_500_000, 2000)
+	s2 := m.Sample(2_000_000)
+	if math.Abs(s2.BytesPerSec-2e9) > 1 {
+		t.Fatalf("window2 = %v, want 2e9", s2.BytesPerSec)
+	}
+	if len(m.Samples()) != 2 {
+		t.Fatalf("samples = %d, want 2", len(m.Samples()))
+	}
+	if m.TotalBytes() != 2500 {
+		t.Fatalf("total = %d, want 2500", m.TotalBytes())
+	}
+}
+
+func TestBandwidthMeterZeroDuration(t *testing.T) {
+	var m BandwidthMeter
+	m.Record(100, 64)
+	if m.MeanBytesPerSec() != 0 {
+		t.Fatal("zero-duration meter must report 0 rate, not Inf")
+	}
+	if m.Utilization() != 0 {
+		t.Fatal("unconfigured peak must report 0 utilization")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{50, 50}, {99, 99}, {100, 100}, {0, 1}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	// Property: percentiles are non-decreasing in p for any sample set.
+	f := func(vals []float64) bool {
+		var h Histogram
+		ok := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h.Observe(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := TimeSeries{Name: "occupancy"}
+	for i := int64(0); i < 10; i++ {
+		ts.Append(i*100, float64(i))
+	}
+	if ts.Last() != 9 {
+		t.Fatalf("last = %v, want 9", ts.Last())
+	}
+	if got := ts.MaxAfter(500); got != 9 {
+		t.Fatalf("max after 500 = %v, want 9", got)
+	}
+	if got := ts.MaxAfter(10_000); got != 0 {
+		t.Fatalf("max after end = %v, want 0", got)
+	}
+	ds := ts.Downsample(3)
+	if len(ds) != 3 {
+		t.Fatalf("downsample = %d points, want 3", len(ds))
+	}
+	if !strings.Contains(ts.String(), "occupancy") {
+		t.Fatalf("String() = %q", ts.String())
+	}
+}
+
+func TestTimeSeriesDownsampleSmall(t *testing.T) {
+	ts := TimeSeries{}
+	ts.Append(1, 1)
+	if got := ts.Downsample(10); len(got) != 1 {
+		t.Fatalf("downsample of 1 point = %d, want 1", len(got))
+	}
+	if got := ts.Downsample(0); len(got) != 1 {
+		t.Fatalf("downsample(0) should return all points")
+	}
+}
+
+func TestCASTraceCountsAndLimit(t *testing.T) {
+	tr := CASTrace{Limit: 2}
+	tr.Record(CASEvent{AtPs: 1, Kind: RdCAS, PhysAddr: 0x1000, Core: 0})
+	tr.Record(CASEvent{AtPs: 2, Kind: WrCAS, PhysAddr: 0x2000, Core: 1})
+	tr.Record(CASEvent{AtPs: 3, Kind: RdCAS, PhysAddr: 0x3000, Core: 0})
+	if tr.Reads() != 2 || tr.Writes() != 1 {
+		t.Fatalf("reads/writes = %d/%d, want 2/1", tr.Reads(), tr.Writes())
+	}
+	if tr.Dropped() != 1 || len(tr.Events) != 2 {
+		t.Fatalf("dropped=%d stored=%d, want 1/2", tr.Dropped(), len(tr.Events))
+	}
+}
+
+func TestCASTraceDump(t *testing.T) {
+	var tr CASTrace
+	tr.Record(CASEvent{AtPs: 10, Kind: RdCAS, PhysAddr: 0x40, Core: 2})
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "10 rdCAS 0x40 2\n" {
+		t.Fatalf("dump = %q", got)
+	}
+}
+
+func TestCASTraceMonotonicRuns(t *testing.T) {
+	var tr CASTrace
+	// Core 0 reads monotonically 4 addresses, then restarts (new CompCpy).
+	addrs := []uint64{0x0, 0x40, 0x80, 0xc0, 0x40, 0x80}
+	for i, a := range addrs {
+		tr.Record(CASEvent{AtPs: int64(i), Kind: RdCAS, PhysAddr: a, Core: 0})
+	}
+	runs := tr.MonotonicRunLengths()[0]
+	if len(runs) != 2 || runs[0] != 4 || runs[1] != 2 {
+		t.Fatalf("runs = %v, want [4 2]", runs)
+	}
+}
+
+func TestCASTraceAddressSpread(t *testing.T) {
+	var tr CASTrace
+	if tr.AddressSpreadBytes() != 0 {
+		t.Fatal("empty trace spread should be 0")
+	}
+	tr.Record(CASEvent{PhysAddr: 32 << 20})
+	tr.Record(CASEvent{PhysAddr: 0})
+	if got := tr.AddressSpreadBytes(); got != 32<<20 {
+		t.Fatalf("spread = %d, want 32MB", got)
+	}
+}
+
+func TestCASKindString(t *testing.T) {
+	if RdCAS.String() != "rdCAS" || WrCAS.String() != "wrCAS" {
+		t.Fatal("CASKind strings wrong")
+	}
+}

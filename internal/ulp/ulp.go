@@ -1,0 +1,231 @@
+// Package ulp implements the upper-layer-protocol framing the paper's
+// two workloads speak: a TLS 1.3-style record layer over AES-GCM (§II,
+// §V-A) and HTTP responses with deflate content encoding carried as a
+// sequence of independently compressed 4KB pages (§V-B/C: SmartDIMM
+// compresses exclusively at page granularity and writes each compressed
+// page to the TCP socket separately).
+//
+// The record layer here is the software/reference implementation; the
+// SmartDIMM path produces byte-identical records through the DSA, which
+// the tests cross-check.
+package ulp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/aesgcm"
+	"repro/internal/core"
+	"repro/internal/deflate"
+)
+
+// TLS record constants.
+const (
+	RecordHeaderLen    = 5
+	ContentTypeAppData = 0x17
+	recordVersion      = 0x0303 // TLS 1.2 on the wire, as TLS 1.3 mandates
+	// MaxRecordPayload is the TLS plaintext limit per record.
+	MaxRecordPayload = 16384
+)
+
+// Errors of the record layer.
+var (
+	ErrRecordTooLarge = errors.New("ulp: record payload exceeds TLS maximum")
+	ErrShortRecord    = errors.New("ulp: truncated record")
+	ErrBadVersion     = errors.New("ulp: unexpected record version")
+)
+
+// Header builds the 5-byte TLS record header for a ciphertext of n
+// bytes (including the tag). It doubles as the AEAD associated data.
+func Header(ctLen int) []byte {
+	return []byte{ContentTypeAppData, recordVersion >> 8, recordVersion & 0xff,
+		byte(ctLen >> 8), byte(ctLen)}
+}
+
+// Session is one direction of a TLS connection's record protection:
+// key, static IV, and a record sequence number (TLS 1.3 nonce
+// construction: seq XORed into the IV).
+type Session struct {
+	gcm *aesgcm.GCM
+	iv  [12]byte
+	seq uint64
+}
+
+// NewSession derives a session from key material.
+func NewSession(key, iv []byte) (*Session, error) {
+	if len(iv) != 12 {
+		return nil, fmt.Errorf("ulp: IV must be 12 bytes, got %d", len(iv))
+	}
+	g, err := aesgcm.NewGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{gcm: g}
+	copy(s.iv[:], iv)
+	return s, nil
+}
+
+// Seq returns the next record sequence number.
+func (s *Session) Seq() uint64 { return s.seq }
+
+// nonce builds the per-record nonce and advances the sequence.
+func (s *Session) nonce() []byte {
+	iv := make([]byte, 12)
+	copy(iv, s.iv[:])
+	q := s.seq
+	s.seq++
+	for i := 0; i < 8; i++ {
+		iv[11-i] ^= byte(q >> (8 * i))
+	}
+	return iv
+}
+
+// EncryptRecord seals payload into a full TLS record
+// (header || ciphertext || tag).
+func (s *Session) EncryptRecord(payload []byte) ([]byte, error) {
+	if len(payload) > MaxRecordPayload {
+		return nil, ErrRecordTooLarge
+	}
+	hdr := Header(len(payload) + aesgcm.TagSize)
+	sealed, err := s.gcm.Seal(nil, s.nonce(), payload, hdr)
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, sealed...), nil
+}
+
+// DecryptRecord opens one record produced by EncryptRecord, returning
+// the payload and the total record length consumed from data.
+func (s *Session) DecryptRecord(data []byte) (payload []byte, consumed int, err error) {
+	if len(data) < RecordHeaderLen {
+		return nil, 0, ErrShortRecord
+	}
+	if data[0] != ContentTypeAppData || binary.BigEndian.Uint16(data[1:3]) != recordVersion {
+		return nil, 0, ErrBadVersion
+	}
+	ctLen := int(binary.BigEndian.Uint16(data[3:5]))
+	if len(data) < RecordHeaderLen+ctLen {
+		return nil, 0, ErrShortRecord
+	}
+	hdr := data[:RecordHeaderLen]
+	body := data[RecordHeaderLen : RecordHeaderLen+ctLen]
+	pt, err := s.gcm.Open(nil, s.nonce(), body, hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pt, RecordHeaderLen + ctLen, nil
+}
+
+// EncryptMessage splits a message into maximal records.
+func (s *Session) EncryptMessage(msg []byte) ([]byte, error) {
+	var out []byte
+	for len(msg) > 0 {
+		n := len(msg)
+		if n > MaxRecordPayload {
+			n = MaxRecordPayload
+		}
+		rec, err := s.EncryptRecord(msg[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec...)
+		msg = msg[n:]
+	}
+	return out, nil
+}
+
+// DecryptMessage reverses EncryptMessage over a concatenated record
+// stream.
+func (s *Session) DecryptMessage(stream []byte) ([]byte, error) {
+	var out []byte
+	for len(stream) > 0 {
+		pt, n, err := s.DecryptRecord(stream)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt...)
+		stream = stream[n:]
+	}
+	return out, nil
+}
+
+// --- Deflate content encoding (page sequence) -----------------------------
+
+// CompressBody encodes a response body as a sequence of independently
+// compressed pages, each framed by the 4-byte page header of
+// core.EncodeCompressedPage. enc selects the encoder: nil uses the
+// software encoder (CPU baseline), otherwise the hardware-style DSA
+// model.
+func CompressBody(body []byte, enc *deflate.HWEncoder) []byte {
+	var out []byte
+	for len(body) > 0 {
+		n := len(body)
+		if n > core.MaxCompressInput {
+			n = core.MaxCompressInput
+		}
+		var page []byte
+		if enc != nil {
+			full := core.EncodeCompressedPage(body[:n], enc)
+			plen, _ := core.CompressedPayloadLen(full)
+			page = full[:4+plen]
+		} else {
+			page = softPage(body[:n])
+		}
+		out = append(out, page...)
+		body = body[n:]
+	}
+	return out
+}
+
+// softPage frames a software-deflate stream in the page format.
+func softPage(data []byte) []byte {
+	stream := deflate.Compress(data)
+	if len(stream) <= len(data) {
+		out := make([]byte, 4+len(stream))
+		binary.LittleEndian.PutUint32(out, uint32(len(stream)))
+		copy(out[4:], stream)
+		return out
+	}
+	out := make([]byte, 4+len(data))
+	binary.LittleEndian.PutUint32(out, uint32(len(data))|1<<31)
+	copy(out[4:], data)
+	return out
+}
+
+// DecompressBody reverses CompressBody.
+func DecompressBody(data []byte) ([]byte, error) {
+	var out []byte
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, errors.New("ulp: truncated page header")
+		}
+		hdr := binary.LittleEndian.Uint32(data)
+		plen := int(hdr &^ (1 << 31))
+		if len(data) < 4+plen {
+			return nil, errors.New("ulp: truncated page payload")
+		}
+		chunk := data[: 4+plen : 4+plen]
+		orig, err := core.DecodeCompressedPage(chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, orig...)
+		data = data[4+plen:]
+	}
+	return out, nil
+}
+
+// --- Minimal HTTP response framing -----------------------------------------
+
+// BuildResponse frames an HTTP/1.1 200 response with the given body and
+// optional Content-Encoding tag (the examples use it; the server model
+// accounts framing bytes separately).
+func BuildResponse(body []byte, contentEncoding string) []byte {
+	head := "HTTP/1.1 200 OK\r\n"
+	if contentEncoding != "" {
+		head += "Content-Encoding: " + contentEncoding + "\r\n"
+	}
+	head += fmt.Sprintf("Content-Length: %d\r\n\r\n", len(body))
+	return append([]byte(head), body...)
+}

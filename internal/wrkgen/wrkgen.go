@@ -1,0 +1,94 @@
+// Package wrkgen models the wrk HTTP load generator of the paper's
+// methodology (§VI): a fixed set of persistent connections issuing
+// requests closed-loop (each connection sends its next request as soon
+// as the previous response completes, after a configurable think time),
+// recording request latency and completion counts.
+package wrkgen
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Target is the server-side entry point: Submit starts processing a
+// request from the given connection and must invoke done exactly once
+// when the response has fully left the server.
+type Target interface {
+	Submit(connID int, done func())
+}
+
+// Config tunes the generator.
+type Config struct {
+	Connections int
+	// ThinkPs is the client-side delay between a response and the next
+	// request (wrk uses ~0; the network RTT is charged here too).
+	ThinkPs int64
+	// MaxRequests stops issuing new requests after this many (0 = no
+	// cap; the run ends at the engine deadline).
+	MaxRequests uint64
+}
+
+// Generator drives a Target over an engine.
+type Generator struct {
+	cfg    Config
+	eng    *sim.Engine
+	target Target
+
+	issued    uint64
+	Completed uint64
+	Latency   stats.Histogram
+	// measuring gates stats so warmup requests don't pollute them.
+	measuring   bool
+	measureFrom int64
+}
+
+// New builds a generator; Start begins the closed loop.
+func New(eng *sim.Engine, target Target, cfg Config) *Generator {
+	if cfg.Connections <= 0 {
+		cfg.Connections = 1
+	}
+	return &Generator{cfg: cfg, eng: eng, target: target}
+}
+
+// Start issues the first request on every connection.
+func (g *Generator) Start() {
+	for c := 0; c < g.cfg.Connections; c++ {
+		g.issue(c)
+	}
+}
+
+// BeginMeasurement zeroes the completion stats; call after warmup.
+func (g *Generator) BeginMeasurement() {
+	g.measuring = true
+	g.measureFrom = g.eng.Now()
+	g.Completed = 0
+	g.Latency.Reset()
+}
+
+// RPS returns completed requests per second since BeginMeasurement.
+func (g *Generator) RPS() float64 {
+	elapsed := g.eng.Now() - g.measureFrom
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(g.Completed) / (float64(elapsed) * 1e-12)
+}
+
+func (g *Generator) issue(connID int) {
+	if g.cfg.MaxRequests > 0 && g.issued >= g.cfg.MaxRequests {
+		return
+	}
+	g.issued++
+	start := g.eng.Now()
+	g.target.Submit(connID, func() {
+		if g.measuring {
+			g.Completed++
+			g.Latency.Observe(float64(g.eng.Now()-start) * 1e-12)
+		}
+		if g.cfg.ThinkPs > 0 {
+			g.eng.After(g.cfg.ThinkPs, func() { g.issue(connID) })
+		} else {
+			g.eng.At(g.eng.Now(), func() { g.issue(connID) })
+		}
+	})
+}
