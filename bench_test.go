@@ -25,16 +25,22 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/offload"
 	"repro/internal/power"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
+// benchPool fans a sweep benchmark's independent simulations across all
+// cores; the measured output series are byte-identical to a serial run
+// (and on a single-core machine the pool degenerates to serial).
+func benchPool() *runner.Pool { return runner.New(0) }
+
 // --- Figures and tables ------------------------------------------------------
 
 func BenchmarkFig02_DropSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Fig2([]float64{0, 0.1, 0.5})
+		pts := experiments.Fig2(benchPool(), []float64{0, 0.1, 0.5})
 		byKey := map[string]float64{}
 		for _, p := range pts {
 			byKey[p.Placement] = p.Gbps // last drop rate wins
@@ -52,7 +58,7 @@ func BenchmarkFig02_DropSensitivity(b *testing.B) {
 func BenchmarkFig03_HTTPSvsHTTPMemBW(b *testing.B) {
 	sc := experiments.QuickScale()
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig3(sc, []int{16, sc.Connections}, 4096)
+		pts, err := experiments.Fig3(benchPool(), sc, []int{16, sc.Connections}, 4096)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +83,7 @@ func BenchmarkFig09_CASTrace(b *testing.B) {
 func BenchmarkFig10_ScratchpadEquilibrium(b *testing.B) {
 	sc := experiments.QuickScale()
 	for i := 0; i < b.N; i++ {
-		series, err := experiments.Fig10([]int{sc.LLCBytes / 4, sc.LLCBytes}, sc)
+		series, err := experiments.Fig10(benchPool(), []int{sc.LLCBytes / 4, sc.LLCBytes}, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +108,7 @@ func reportPerf(b *testing.B, pts []experiments.PerfPoint, msg int) {
 func BenchmarkFig11_TLSOffload4KB(b *testing.B) {
 	sc := experiments.QuickScale()
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.RunPlacements(sc, server.HTTPSMode, []int{4096}, corpus.Text)
+		pts, err := experiments.RunPlacements(benchPool(), sc, server.HTTPSMode, []int{4096}, corpus.Text)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +119,7 @@ func BenchmarkFig11_TLSOffload4KB(b *testing.B) {
 func BenchmarkFig11_TLSOffload16KB(b *testing.B) {
 	sc := experiments.QuickScale()
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.RunPlacements(sc, server.HTTPSMode, []int{16384}, corpus.Text)
+		pts, err := experiments.RunPlacements(benchPool(), sc, server.HTTPSMode, []int{16384}, corpus.Text)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +130,7 @@ func BenchmarkFig11_TLSOffload16KB(b *testing.B) {
 func BenchmarkFig12_CompressionOffload4KB(b *testing.B) {
 	sc := experiments.QuickScale()
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.RunPlacements(sc, server.CompressedHTTP, []int{4096}, corpus.HTML)
+		pts, err := experiments.RunPlacements(benchPool(), sc, server.CompressedHTTP, []int{4096}, corpus.HTML)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +141,7 @@ func BenchmarkFig12_CompressionOffload4KB(b *testing.B) {
 func BenchmarkFig12_CompressionOffload16KB(b *testing.B) {
 	sc := experiments.QuickScale()
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.RunPlacements(sc, server.CompressedHTTP, []int{16384}, corpus.HTML)
+		pts, err := experiments.RunPlacements(benchPool(), sc, server.CompressedHTTP, []int{16384}, corpus.HTML)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +152,7 @@ func BenchmarkFig12_CompressionOffload16KB(b *testing.B) {
 func BenchmarkTable1_CoRun(b *testing.B) {
 	sc := experiments.QuickScale()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(sc)
+		rows, err := experiments.Table1(benchPool(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}

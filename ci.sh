@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1+ gate for this repository. Run before every merge:
+#
+#   ./ci.sh
+#
+# Stages:
+#   1. go vet       — static checks across the module
+#   2. go build     — everything compiles, including cmds and examples
+#   3. race tests   — the concurrency-bearing packages (the runner pool
+#                     and the event kernel it drives) under -race
+#   4. go test      — the full suite, including the serial-vs-parallel
+#                     sweep determinism gate in internal/experiments
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./internal/runner/ ./internal/sim/"
+go test -race ./internal/runner/ ./internal/sim/
+
+echo "== go test ./..."
+go test ./...
+
+echo "ci.sh: all gates passed"

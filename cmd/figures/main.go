@@ -19,6 +19,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/experiments"
 	"repro/internal/power"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -28,7 +29,16 @@ func main() {
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
+	par := flag.Int("parallel", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	// Parameter points of a sweep are independent simulations; fanning
+	// them across cores changes wall-clock time only — the printed series
+	// are byte-identical to a serial run.
+	var pool *runner.Pool
+	if *par != 1 {
+		pool = runner.New(*par)
+	}
 
 	sc := experiments.QuickScale()
 	if *scale == "paper" {
@@ -39,28 +49,28 @@ func main() {
 	run := func(n int) bool { return all || *fig == n }
 
 	if run(2) {
-		fig2()
+		fig2(pool)
 	}
 	if run(3) {
-		fig3(sc)
+		fig3(pool, sc)
 	}
 	if run(9) {
 		fig9()
 	}
 	if run(10) {
-		fig10(sc)
+		fig10(pool, sc)
 	}
 	if run(11) {
-		fig11(sc)
+		fig11(pool, sc)
 	}
 	if run(12) {
-		fig12(sc)
+		fig12(pool, sc)
 	}
 	if run(13) {
 		fig13()
 	}
 	if all || *table == 1 {
-		table1(sc)
+		table1(pool, sc)
 	}
 	if all || *pow {
 		powerModel()
@@ -72,24 +82,24 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func fig2() {
+func fig2(pool *runner.Pool) {
 	fmt.Println("=== Fig. 2: encrypted-connection bandwidth under packet drops ===")
 	fmt.Println("paper: SmartNIC matches CPU at 0% drops, then collapses as drops rise")
 	fmt.Printf("%-10s %-10s %-12s %s\n", "drop(%)", "config", "Gbps", "resyncs")
-	for _, p := range experiments.Fig2([]float64{0, 0.01, 0.05, 0.1, 0.5, 1.0}) {
+	for _, p := range experiments.Fig2(pool, []float64{0, 0.01, 0.05, 0.1, 0.5, 1.0}) {
 		fmt.Printf("%-10.2f %-10s %-12.2f %d\n", p.DropPct, p.Placement, p.Gbps, p.Resyncs)
 	}
 	fmt.Println()
 }
 
-func fig3(sc experiments.Scale) {
+func fig3(pool *runner.Pool, sc experiments.Scale) {
 	fmt.Println("=== Fig. 3: HTTPS memory bandwidth normalized to HTTP ===")
 	fmt.Println("paper: ratio grows with connections, up to ~2.5x")
 	connCounts := []int{16, 64, 256}
 	if sc.Connections > 256 {
 		connCounts = append(connCounts, sc.Connections)
 	}
-	pts, err := experiments.Fig3(sc, connCounts, 4096)
+	pts, err := experiments.Fig3(pool, sc, connCounts, 4096)
 	if err != nil {
 		fail(err)
 	}
@@ -116,10 +126,10 @@ func fig9() {
 	fmt.Println()
 }
 
-func fig10(sc experiments.Scale) {
+func fig10(pool *runner.Pool, sc experiments.Scale) {
 	fmt.Println("=== Fig. 10: scratchpad occupancy vs LLC provisioning ===")
 	fmt.Println("paper: equilibrium occupancy scales with LLC size (50MB LLC -> <2MB, 10MB -> <500KB)")
-	series, err := experiments.Fig10([]int{sc.LLCBytes / 8, sc.LLCBytes / 2, sc.LLCBytes}, sc)
+	series, err := experiments.Fig10(pool, []int{sc.LLCBytes / 8, sc.LLCBytes / 2, sc.LLCBytes}, sc)
 	if err != nil {
 		fail(err)
 	}
@@ -143,21 +153,21 @@ func printPerf(pts []experiments.PerfPoint) {
 	fmt.Println()
 }
 
-func fig11(sc experiments.Scale) {
+func fig11(pool *runner.Pool, sc experiments.Scale) {
 	fmt.Println("=== Fig. 11: Nginx TLS offload across placements (normalized to CPU) ===")
 	fmt.Println("paper: SmartDIMM +21.0% RPS @4KB / +35.8% @16KB, -21.8% CPU, -49.1% membw;")
 	fmt.Println("       SmartNIC/QAT no gain at 4KB; SmartNIC gains at 16KB")
-	pts, err := experiments.RunPlacements(sc, server.HTTPSMode, []int{4096, 16384}, corpus.Text)
+	pts, err := experiments.RunPlacements(pool, sc, server.HTTPSMode, []int{4096, 16384}, corpus.Text)
 	if err != nil {
 		fail(err)
 	}
 	printPerf(pts)
 }
 
-func fig12(sc experiments.Scale) {
+func fig12(pool *runner.Pool, sc experiments.Scale) {
 	fmt.Println("=== Fig. 12: Nginx compression offload across placements (normalized to CPU) ===")
 	fmt.Println("paper: SmartDIMM 5.09x RPS @4KB / 10.28x @16KB, -81.5% CPU, -88.9% membw; QAT <= 1x")
-	pts, err := experiments.RunPlacements(sc, server.CompressedHTTP, []int{4096, 16384}, corpus.HTML)
+	pts, err := experiments.RunPlacements(pool, sc, server.CompressedHTTP, []int{4096, 16384}, corpus.HTML)
 	if err != nil {
 		fail(err)
 	}
@@ -176,10 +186,10 @@ func fig13() {
 	fmt.Println()
 }
 
-func table1(sc experiments.Scale) {
+func table1(pool *runner.Pool, sc experiments.Scale) {
 	fmt.Println("=== Table I: co-run slowdowns (Nginx+TLS with 10x mcf) ===")
 	fmt.Println("paper: Nginx 15.8/7.3/28.7/9.5%, mcf 15.5/8.7/37.9/10.3% (CPU/SmartNIC/QAT/SmartDIMM)")
-	rows, err := experiments.Table1(sc)
+	rows, err := experiments.Table1(pool, sc)
 	if err != nil {
 		fail(err)
 	}

@@ -1,32 +1,53 @@
-// Command smartdimm-sim runs one configurable full-system serving
-// experiment and prints the measured metrics — the general-purpose CLI
+// Command smartdimm-sim runs configurable full-system serving
+// experiments and prints the measured metrics — the general-purpose CLI
 // around the simulator for exploring configurations beyond the paper's.
+//
+// -msg and -conns accept comma-separated lists; the cartesian product of
+// the values is swept, with independent runs fanned across -parallel
+// workers (results always print in sweep order).
 //
 // Examples:
 //
 //	smartdimm-sim -placement smartdimm -ulp tls -msg 16384 -conns 512
 //	smartdimm-sim -placement cpu -ulp compression -msg 4096 -corpus html
 //	smartdimm-sim -placement adaptive -llc 4194304 -measure-ms 50
+//	smartdimm-sim -placement smartdimm -msg 1024,4096,16384 -conns 64,256
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/corpus"
 	"repro/internal/dram"
 	"repro/internal/offload"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
 
+// cliConfig carries the flag values shared by every run of the sweep.
+type cliConfig struct {
+	placement string
+	ulpName   string
+	workers   int
+	llc       int
+	ways      int
+	kind      corpus.Kind
+	warmupMs  int
+	measureMs int
+	seed      int64
+}
+
 func main() {
 	placement := flag.String("placement", "smartdimm", "cpu | smartnic | qat | smartdimm | adaptive")
 	ulpName := flag.String("ulp", "tls", "tls | compression | none (plain HTTP)")
-	msg := flag.Int("msg", 4096, "message (response body) size in bytes")
-	conns := flag.Int("conns", 256, "persistent connections")
+	msgList := flag.String("msg", "4096", "message (response body) sizes in bytes, comma-separated")
+	connList := flag.String("conns", "256", "persistent connection counts, comma-separated")
 	workers := flag.Int("workers", 10, "server worker threads")
 	llc := flag.Int("llc", 2<<20, "LLC size in bytes")
 	ways := flag.Int("ways", 8, "LLC associativity")
@@ -34,25 +55,71 @@ func main() {
 	warmupMs := flag.Int("warmup-ms", 2, "warmup window")
 	measureMs := flag.Int("measure-ms", 20, "measurement window")
 	seed := flag.Int64("seed", 1, "workload seed")
+	par := flag.Int("parallel", 0, "concurrent sweep runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	kind, err := parseKind(*kindName)
 	if err != nil {
 		fatal(err)
 	}
-
-	withDIMM := *placement == "smartdimm" || *placement == "adaptive"
-	sys, err := sim.NewSystem(sim.SystemConfig{
-		Params: sim.DefaultParams(), LLCBytes: *llc, LLCWays: *ways,
-		Geometry:      dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
-		WithSmartDIMM: withDIMM,
-	})
+	msgs, err := parseIntList("msg", *msgList)
+	if err != nil {
+		fatal(err)
+	}
+	conns, err := parseIntList("conns", *connList)
 	if err != nil {
 		fatal(err)
 	}
 
+	cfg := cliConfig{
+		placement: strings.ToLower(*placement), ulpName: strings.ToLower(*ulpName),
+		workers: *workers, llc: *llc, ways: *ways, kind: kind,
+		warmupMs: *warmupMs, measureMs: *measureMs, seed: *seed,
+	}
+
+	type point struct{ msg, conns int }
+	var sweep []point
+	for _, m := range msgs {
+		for _, c := range conns {
+			sweep = append(sweep, point{msg: m, conns: c})
+		}
+	}
+	var pool *runner.Pool
+	if *par != 1 && len(sweep) > 1 {
+		pool = runner.New(*par)
+	}
+	// Each run formats its own report; blocks print in sweep order no
+	// matter which worker finishes first.
+	blocks, err := runner.Map(context.Background(), pool, sweep,
+		func(_ context.Context, pt point, _ int) (string, error) {
+			return runOne(cfg, pt.msg, pt.conns)
+		})
+	if err != nil {
+		fatal(err)
+	}
+	for i, b := range blocks {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(b)
+	}
+}
+
+// runOne builds a fresh system, runs one closed-loop measurement, and
+// returns the formatted report.
+func runOne(cfg cliConfig, msg, conns int) (string, error) {
+	withDIMM := cfg.placement == "smartdimm" || cfg.placement == "adaptive"
+	sys, err := sim.NewSystem(sim.SystemConfig{
+		Params: sim.DefaultParams(), LLCBytes: cfg.llc, LLCWays: cfg.ways,
+		Geometry:      dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
+		WithSmartDIMM: withDIMM,
+	})
+	if err != nil {
+		return "", err
+	}
+
 	var backend offload.Backend
-	switch strings.ToLower(*placement) {
+	switch cfg.placement {
 	case "cpu":
 		backend = &offload.CPU{Sys: sys}
 	case "smartnic":
@@ -65,11 +132,11 @@ func main() {
 		backend = &offload.Adaptive{Sys: sys,
 			CPUBackend: &offload.CPU{Sys: sys}, DIMM: &offload.SmartDIMM{Sys: sys}}
 	default:
-		fatal(fmt.Errorf("unknown placement %q", *placement))
+		return "", fmt.Errorf("unknown placement %q", cfg.placement)
 	}
 
 	mode := server.HTTPSMode
-	switch strings.ToLower(*ulpName) {
+	switch cfg.ulpName {
 	case "tls":
 	case "compression":
 		mode = server.CompressedHTTP
@@ -77,36 +144,50 @@ func main() {
 		mode = server.PlainHTTP
 		backend = nil
 	default:
-		fatal(fmt.Errorf("unknown ulp %q", *ulpName))
+		return "", fmt.Errorf("unknown ulp %q", cfg.ulpName)
 	}
 
 	m, err := server.RunClosedLoop(server.Config{
-		Sys: sys, Backend: backend, Mode: mode, Workers: *workers,
-		MsgSize: *msg, Connections: *conns, FileKind: kind, Seed: *seed,
-	}, int64(*warmupMs)*sim.Ms, int64(*measureMs)*sim.Ms)
+		Sys: sys, Backend: backend, Mode: mode, Workers: cfg.workers,
+		MsgSize: msg, Connections: conns, FileKind: cfg.kind, Seed: cfg.seed,
+	}, int64(cfg.warmupMs)*sim.Ms, int64(cfg.measureMs)*sim.Ms)
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
 
-	fmt.Printf("placement:   %s\n", *placement)
-	fmt.Printf("mode:        %s, %dB messages, %d connections, %d workers\n", mode, *msg, *conns, *workers)
-	fmt.Printf("requests:    %d in %.2fms\n", m.Requests, float64(m.ElapsedPs)/float64(sim.Ms))
-	fmt.Printf("RPS:         %.0f\n", m.RPS)
-	fmt.Printf("CPU util:    %.1f%%\n", m.CPUUtil*100)
-	fmt.Printf("memory BW:   %.3f GB/s (%d bytes)\n", m.MemBWGBps, m.MemBytes)
-	fmt.Printf("TX:          %d bytes (%.2fx body)\n", m.TXBytes, float64(m.TXBytes)/float64(m.Requests*uint64(*msg)))
-	fmt.Printf("mean latency: %.1f us\n", float64(m.MeanLatPs)/float64(sim.Us))
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement:   %s\n", cfg.placement)
+	fmt.Fprintf(&b, "mode:        %s, %dB messages, %d connections, %d workers\n", mode, msg, conns, cfg.workers)
+	fmt.Fprintf(&b, "requests:    %d in %.2fms\n", m.Requests, float64(m.ElapsedPs)/float64(sim.Ms))
+	fmt.Fprintf(&b, "RPS:         %.0f\n", m.RPS)
+	fmt.Fprintf(&b, "CPU util:    %.1f%%\n", m.CPUUtil*100)
+	fmt.Fprintf(&b, "memory BW:   %.3f GB/s (%d bytes)\n", m.MemBWGBps, m.MemBytes)
+	fmt.Fprintf(&b, "TX:          %d bytes (%.2fx body)\n", m.TXBytes, float64(m.TXBytes)/float64(m.Requests*uint64(msg)))
+	fmt.Fprintf(&b, "mean latency: %.1f us\n", float64(m.MeanLatPs)/float64(sim.Us))
 	if withDIMM && sys.Dev != nil {
 		st := sys.Dev.Stats()
-		fmt.Printf("smartdimm:   %d registrations, %d DSA lines, %d self-recycles, %d S7, %d S10, %d ALERT_N\n",
+		fmt.Fprintf(&b, "smartdimm:   %d registrations, %d DSA lines, %d self-recycles, %d S7, %d S10, %d ALERT_N\n",
 			st.Registrations, st.DSALinesFed, st.SelfRecycles, st.IgnoredWrites, st.ScratchpadReads, st.Alerts)
-		fmt.Printf("driver:      %d CompCpy, %d force-recycles\n",
+		fmt.Fprintf(&b, "driver:      %d CompCpy, %d force-recycles\n",
 			sys.Driver.Stats().CompCpyCalls, sys.Driver.Stats().ForceRecycleCalls)
 		if ad, ok := backend.(*offload.Adaptive); ok {
-			fmt.Printf("adaptive:    %d offloaded, %d on CPU (last miss rate %.3f)\n",
+			fmt.Fprintf(&b, "adaptive:    %d offloaded, %d on CPU (last miss rate %.3f)\n",
 				ad.OffloadedN, ad.OnCPUN, ad.LastMissRate)
 		}
 	}
+	return b.String(), nil
+}
+
+func parseIntList(name, s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-%s: %q is not a positive integer", name, f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseKind(name string) (corpus.Kind, error) {

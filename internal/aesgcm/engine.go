@@ -167,10 +167,13 @@ func (e *CachelineEngine) ProcessCacheline(dst, src []byte, offset int) error {
 		}
 		ctBytes = dst[:want]
 	} else {
-		ctBytes = append([]byte(nil), src[:want]...)
+		// Snapshot the ciphertext on the stack: dst may alias src.
+		var ct [CachelineSize]byte
+		copy(ct[:want], src)
 		for i := 0; i < want; i++ {
 			dst[i] = src[i] ^ ks[i]
 		}
+		ctBytes = ct[:want]
 	}
 	e.foldCiphertext(ctBytes, offset)
 	e.processed[cl] = true
@@ -179,19 +182,20 @@ func (e *CachelineEngine) ProcessCacheline(dst, src []byte, offset int) error {
 }
 
 // keystreamAt produces CTR keystream for record offsets
-// [offset, offset+len(dst)).
+// [offset, offset+len(dst)), streaming the counter block instead of
+// rebuilding it per AES block.
 func (e *CachelineEngine) keystreamAt(dst []byte, offset int) error {
-	var ks [BlockSize]byte
+	var cb, ks [BlockSize]byte
+	copy(cb[:StandardIVSize], e.iv)
+	blockIdx := offset / BlockSize
+	within := offset % BlockSize
 	written := 0
 	for written < len(dst) {
-		blockIdx := (offset + written) / BlockSize
-		within := (offset + written) % BlockSize
-		cb, err := counterBlock(e.iv, uint32(blockIdx)+2)
-		if err != nil {
-			return err
-		}
+		binary.BigEndian.PutUint32(cb[StandardIVSize:], uint32(blockIdx)+2)
 		e.cipher.Encrypt(ks[:], cb[:])
 		written += copy(dst[written:], ks[within:])
+		within = 0
+		blockIdx++
 	}
 	return nil
 }

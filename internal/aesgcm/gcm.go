@@ -27,6 +27,7 @@ const StandardIVSize = 12
 type GCM struct {
 	cipher *Cipher
 	h      [BlockSize]byte // hash subkey H = E_K(0^128)
+	table  *mulTable8      // GHASH table, built once per key
 }
 
 // NewGCM wraps an AES key (16/24/32 bytes) in GCM mode.
@@ -38,6 +39,7 @@ func NewGCM(key []byte) (*GCM, error) {
 	g := &GCM{cipher: c}
 	var zero [BlockSize]byte
 	c.Encrypt(g.h[:], zero[:])
+	g.table = newMulTable8(LoadEl(g.h[:]))
 	return g, nil
 }
 
@@ -86,15 +88,19 @@ func (g *GCM) KeystreamAt(dst []byte, iv []byte, offset int) error {
 	if offset < 0 {
 		return errors.New("aesgcm: negative keystream offset")
 	}
-	var ks [BlockSize]byte
+	// Build the counter block once and only bump the 32-bit counter per
+	// block: no per-block IV copy, length check, or slice allocation.
+	var cb, ks [BlockSize]byte
+	copy(cb[:StandardIVSize], iv)
+	blockIdx := offset / BlockSize
+	within := offset % BlockSize
 	written := 0
 	for written < len(dst) {
-		blockIdx := (offset + written) / BlockSize
-		within := (offset + written) % BlockSize
-		cb, _ := counterBlock(iv, uint32(blockIdx)+2)
+		binary.BigEndian.PutUint32(cb[StandardIVSize:], uint32(blockIdx)+2)
 		g.cipher.Encrypt(ks[:], cb[:])
-		n := copy(dst[written:], ks[within:])
-		written += n
+		written += copy(dst[written:], ks[within:])
+		within = 0
+		blockIdx++
 	}
 	return nil
 }
@@ -146,9 +152,10 @@ func (g *GCM) Open(dst, iv, sealed, aad []byte) ([]byte, error) {
 	return ret, nil
 }
 
-// computeTag runs GHASH over aad||ct||lengths and encrypts with E_K(J0).
+// computeTag runs GHASH over aad||ct||lengths and encrypts with E_K(J0),
+// reusing the per-key table instead of rebuilding it per record.
 func (g *GCM) computeTag(iv, ct, aad []byte) ([]byte, error) {
-	gh := NewGHASH(g.h[:])
+	gh := GHASH{table: g.table}
 	gh.Update(aad)
 	gh.Update(ct)
 	gh.UpdateLengths(len(aad), len(ct))

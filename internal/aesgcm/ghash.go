@@ -100,7 +100,8 @@ func mulByX(v FieldEl) FieldEl {
 // mul multiplies y by the table's hash subkey using a 4-bit-windowed
 // Horner evaluation. In the GCM representation the LSB end of Lo holds
 // the highest-degree coefficients, so walking low nibbles first visits
-// terms in descending degree, exactly what Horner needs.
+// terms in descending degree, exactly what Horner needs. Kept as the
+// reference/ablation path; the GHASH hot loop uses the 8-bit table.
 func (t *mulTable) mul(y FieldEl) FieldEl {
 	var z FieldEl
 	process := func(word uint64) {
@@ -117,17 +118,80 @@ func (t *mulTable) mul(y FieldEl) FieldEl {
 	return z
 }
 
+// mulTable8 is the 256-entry byte-indexed multiplication table: the same
+// Horner structure as mulTable, but consuming a whole byte per step so a
+// block costs 16 table folds instead of 32 nibble folds. Index bit 7
+// (the byte's MSB) is the lowest-degree term, matching the GCM bit
+// order of the 4-bit table.
+type mulTable8 [256]FieldEl
+
+func newMulTable8(h FieldEl) *mulTable8 {
+	var t mulTable8
+	t[0x80] = h // 0b1000_0000: coefficient of x^0 within the byte
+	for i := 0x40; i > 0; i >>= 1 {
+		t[i] = mulByX(t[i*2])
+	}
+	for i := 2; i < 256; i *= 2 {
+		for j := 1; j < i; j++ {
+			t[i+j] = t[i].Xor(t[j])
+		}
+	}
+	return &t
+}
+
+// reduce8 folds the 8 bits shifted out of a field element during a
+// combined z*x^8 step back into the high word: entry b is the XOR of
+// gcmR >> (7-i) for every set bit i, the net effect of the eight
+// bit-serial reductions mulByX would perform one at a time.
+var reduce8 [256]uint64
+
+func init() {
+	for b := 0; b < 256; b++ {
+		var r uint64
+		for i := 0; i < 8; i++ {
+			if b>>i&1 == 1 {
+				r ^= gcmR >> (7 - i)
+			}
+		}
+		reduce8[b] = r
+	}
+}
+
+// mul multiplies y by the hash subkey via byte-wise Horner: z = z*x^8
+// (one shift plus a table-folded reduction) then one 256-entry fold per
+// byte, low bytes first (they hold the highest-degree coefficients).
+func (t *mulTable8) mul(y FieldEl) FieldEl {
+	var z FieldEl
+	word := y.Lo
+	for i := 0; i < 16; i++ {
+		if i == 8 {
+			word = y.Hi
+		}
+		b := word & 0xff
+		word >>= 8
+		rb := z.Lo & 0xff
+		z.Lo = z.Lo>>8 | z.Hi<<56
+		z.Hi = z.Hi>>8 ^ reduce8[rb]
+		e := &t[b]
+		z.Hi ^= e.Hi
+		z.Lo ^= e.Lo
+	}
+	return z
+}
+
 // GHASH computes the GHASH function of SP 800-38D over the given blocks
 // with hash subkey h. Data is processed in 16-byte blocks; a short final
 // block is zero-padded (callers compose AAD/ciphertext/length blocks).
 type GHASH struct {
-	table *mulTable
+	table *mulTable8
 	y     FieldEl
 }
 
 // NewGHASH creates a GHASH instance keyed by the 16-byte hash subkey.
+// The 256-entry table build is a per-subkey cost; key it once and reuse
+// (GCM caches it per key).
 func NewGHASH(h []byte) *GHASH {
-	return &GHASH{table: newMulTable(LoadEl(h))}
+	return &GHASH{table: newMulTable8(LoadEl(h))}
 }
 
 // Update absorbs data, zero-padding the final short block if any.

@@ -5,6 +5,8 @@ package deflate
 // This is the "ULP processed on the CPU" baseline of the paper's
 // evaluation.
 
+import "sync"
+
 const (
 	hashBits  = 15
 	hashSize  = 1 << hashBits
@@ -25,24 +27,77 @@ type EncoderOptions struct {
 	WindowSize int
 }
 
-// Compress deflates src with default options (lazy matching, 64-deep
-// chains, 32KB window) into a single final block.
-func Compress(src []byte) []byte {
-	return CompressOpts(src, EncoderOptions{Lazy: true})
+// Encoder is a reusable software deflate encoder. The hash-chain match
+// finder (head/prev arrays), token buffer, Huffman construction scratch,
+// and output bit accumulator all live in one arena recycled across
+// EncodeAll calls, so steady-state encoding performs zero heap
+// allocations beyond the output buffer the caller controls — the same
+// "deflate state" shape whose cache footprint SoftDeflateStateBytes
+// models in the offload backends. An Encoder is not safe for concurrent
+// use; use one per connection or goroutine.
+type Encoder struct {
+	opts   EncoderOptions
+	head   [hashSize]int32
+	prev   []int32
+	tokens []token
+	w      bitWriter
+
+	// Huffman/block scratch, sized to the RFC maxima.
+	litFreq      [numLitLenSyms]int
+	distFreq     [numDistSyms]int
+	dynLit       [numLitLenSyms]uint8
+	dynDist      [numDistSyms]uint8
+	dynLitCodes  [numLitLenSyms]huffCode
+	dynDistCodes [numDistSyms]huffCode
+	clFreq       [19]int
+	clLens       [19]uint8
+	clCodes      [19]huffCode
+	clSyms       []clSymbol
+	seq          [numLitLenSyms + numDistSyms]uint8
+	huff         huffScratch
 }
 
-// CompressOpts deflates src with the given options into one final block.
-func CompressOpts(src []byte, o EncoderOptions) []byte {
+// NewEncoder returns an encoder with the given options applied
+// (defaults filled in as CompressOpts does).
+func NewEncoder(o EncoderOptions) *Encoder {
 	if o.MaxChainLen <= 0 {
 		o.MaxChainLen = 64
 	}
 	if o.WindowSize <= 0 || o.WindowSize > MaxDistance {
 		o.WindowSize = MaxDistance
 	}
-	tokens := lz77(src, o)
-	var w bitWriter
-	writeBlock(&w, tokens, src, true)
-	return w.bytes()
+	return &Encoder{opts: o}
+}
+
+// defaultEncoders pools encoders with the default options so the
+// package-level Compress reuses arenas across calls (and goroutines).
+var defaultEncoders = sync.Pool{New: func() any { return NewEncoder(EncoderOptions{Lazy: true}) }}
+
+// Compress deflates src with default options (lazy matching, 64-deep
+// chains, 32KB window) into a single final block.
+func Compress(src []byte) []byte {
+	e := defaultEncoders.Get().(*Encoder)
+	out := e.EncodeAll(src, nil)
+	defaultEncoders.Put(e)
+	return out
+}
+
+// CompressOpts deflates src with the given options into one final block.
+func CompressOpts(src []byte, o EncoderOptions) []byte {
+	return NewEncoder(o).EncodeAll(src, nil)
+}
+
+// EncodeAll deflates src into a single final block appended to dst
+// (pass a slice with spare capacity to avoid output allocations too).
+// The stream is byte-identical to CompressOpts with the same options.
+func (e *Encoder) EncodeAll(src, dst []byte) []byte {
+	e.w.buf = dst
+	e.w.acc, e.w.nAcc = 0, 0
+	e.lz77(src)
+	e.writeBlock(e.tokens, src, true)
+	out := e.w.bytes()
+	e.w.buf = nil // do not retain the caller's buffer across calls
+	return out
 }
 
 func hash4(b []byte) uint32 {
@@ -51,17 +106,25 @@ func hash4(b []byte) uint32 {
 	return (v * 2654435761) >> hashShift
 }
 
-// lz77 produces the token stream for src using hash chains.
-func lz77(src []byte, o EncoderOptions) []token {
-	var tokens []token
+// lz77 produces the token stream for src into e.tokens using the
+// encoder's hash-chain arena.
+func (e *Encoder) lz77(src []byte) {
+	e.tokens = e.tokens[:0]
 	if len(src) == 0 {
-		return tokens
+		return
 	}
-	head := make([]int32, hashSize)
+	head := &e.head
 	for i := range head {
 		head[i] = -1
 	}
-	prev := make([]int32, len(src))
+	if cap(e.prev) < len(src) {
+		e.prev = make([]int32, len(src))
+	}
+	prev := e.prev[:len(src)]
+	for i := range prev {
+		prev[i] = 0
+	}
+	o := e.opts
 
 	insert := func(pos int) {
 		if pos+4 > len(src) {
@@ -116,7 +179,7 @@ func lz77(src []byte, o EncoderOptions) []token {
 	for pos < len(src) {
 		l, d := findMatch(pos)
 		if l == 0 {
-			tokens = append(tokens, literalToken(src[pos]))
+			e.tokens = append(e.tokens, literalToken(src[pos]))
 			insert(pos)
 			pos++
 			continue
@@ -127,24 +190,23 @@ func lz77(src []byte, o EncoderOptions) []token {
 			if l2 > l {
 				// Defer: emit current byte as literal, take the longer
 				// match at pos+1 on the next iteration.
-				tokens = append(tokens, literalToken(src[pos]))
+				e.tokens = append(e.tokens, literalToken(src[pos]))
 				pos++
 				l, d = l2, d2
 			}
-			tokens = append(tokens, matchToken(l, d))
+			e.tokens = append(e.tokens, matchToken(l, d))
 			for i := 0; i < l; i++ {
 				insert(pos + i)
 			}
 			pos += l
 			continue
 		}
-		tokens = append(tokens, matchToken(l, d))
+		e.tokens = append(e.tokens, matchToken(l, d))
 		for i := 0; i < l; i++ {
 			insert(pos + i)
 		}
 		pos += l
 	}
-	return tokens
 }
 
 // matchLen returns the length of the common prefix of src[a:] and
@@ -157,33 +219,51 @@ func matchLen(src []byte, a, b, maxLen int) int {
 	return n
 }
 
+// tokenFrequencies tallies litlen and distance symbol frequencies into
+// the encoder's scratch arrays (end-of-block included).
+func (e *Encoder) tokenFrequencies(tokens []token) {
+	for i := range e.litFreq {
+		e.litFreq[i] = 0
+	}
+	for i := range e.distFreq {
+		e.distFreq[i] = 0
+	}
+	for _, t := range tokens {
+		if t.isLiteral() {
+			e.litFreq[t.lit]++
+		} else {
+			e.litFreq[lengthSym[t.len]]++
+			e.distFreq[distCode(int(t.dist))]++
+		}
+	}
+	e.litFreq[endBlockSym]++
+}
+
 // writeBlock emits one block, choosing the cheapest of the three block
 // types for this token stream. src is the original uncompressed data of
 // the block (needed for stored fallback).
-func writeBlock(w *bitWriter, tokens []token, src []byte, final bool) {
+func (e *Encoder) writeBlock(tokens []token, src []byte, final bool) {
+	w := &e.w
 	finalBit := uint32(0)
 	if final {
 		finalBit = 1
 	}
 
-	litFreq, distFreq := tokenFrequencies(tokens)
-	dynLit := buildLengths(litFreq, maxCodeLen)
-	dynDist := buildLengths(distFreq, maxCodeLen)
-	dynHeaderBits, hlit, hdist, hclen, clSyms, clLens, clCodes := dynamicHeader(dynLit, dynDist)
-	dynCodes, err1 := canonicalCodes(dynLit)
-	dynDistCodes, err2 := canonicalCodes(dynDist)
-
-	fixedLit, _ := canonicalCodes(fixedLitLenLengths())
-	fixedDist, _ := canonicalCodes(fixedDistLengths())
+	e.tokenFrequencies(tokens)
+	e.huff.buildLengthsInto(e.dynLit[:], e.litFreq[:], maxCodeLen)
+	e.huff.buildLengthsInto(e.dynDist[:], e.distFreq[:], maxCodeLen)
+	dynHeaderBits, hlit, hdist, hclen := e.dynamicHeader()
+	err1 := canonicalCodesInto(e.dynLitCodes[:], e.dynLit[:])
+	err2 := canonicalCodesInto(e.dynDistCodes[:], e.dynDist[:])
 
 	costWith := func(lit, dist []huffCode) int {
 		bits := 0
-		for sym, f := range litFreq {
+		for sym, f := range e.litFreq {
 			if f > 0 {
 				bits += f * int(lit[sym].len)
 			}
 		}
-		for sym, f := range distFreq {
+		for sym, f := range e.distFreq {
 			if f > 0 {
 				bits += f * int(dist[sym].len)
 			}
@@ -196,8 +276,8 @@ func writeBlock(w *bitWriter, tokens []token, src []byte, final bool) {
 		}
 		return bits
 	}
-	fixedBits := 3 + costWith(fixedLit, fixedDist)
-	dynBits := 3 + dynHeaderBits + costWith(dynCodes, dynDistCodes)
+	fixedBits := 3 + costWith(fixedLitCodes, fixedDistCodes)
+	dynBits := 3 + dynHeaderBits + costWith(e.dynLitCodes[:], e.dynDistCodes[:])
 	storedBits := 3 + 16 + 16 + 8*len(src) + 7 // worst-case alignment padding
 
 	switch {
@@ -208,20 +288,20 @@ func writeBlock(w *bitWriter, tokens []token, src []byte, final bool) {
 		w.writeBits(uint32(hdist-1), 5)
 		w.writeBits(uint32(hclen-4), 4)
 		for i := 0; i < hclen; i++ {
-			w.writeBits(uint32(clLens[clOrder[i]]), 3)
+			w.writeBits(uint32(e.clLens[clOrder[i]]), 3)
 		}
-		for _, s := range clSyms {
-			c := clCodes[s.sym]
+		for _, s := range e.clSyms {
+			c := e.clCodes[s.sym]
 			w.writeCode(c.code, uint(c.len))
 			if s.extraBits > 0 {
 				w.writeBits(uint32(s.extraVal), uint(s.extraBits))
 			}
 		}
-		writeTokens(w, tokens, dynCodes, dynDistCodes)
+		writeTokens(w, tokens, e.dynLitCodes[:], e.dynDistCodes[:])
 	case fixedBits <= storedBits:
 		w.writeBits(finalBit, 1)
 		w.writeBits(1, 2) // BTYPE=01 fixed
-		writeTokens(w, tokens, fixedLit, fixedDist)
+		writeTokens(w, tokens, fixedLitCodes, fixedDistCodes)
 	default:
 		writeStored(w, src, final)
 	}
@@ -264,44 +344,47 @@ type clSymbol struct {
 	extraVal  int
 }
 
-// dynamicHeader builds the dynamic block header pieces: the bit cost,
-// HLIT/HDIST/HCLEN, the RLE symbol stream, and the code length code.
-func dynamicHeader(litLens, distLens []uint8) (bits, hlit, hdist, hclen int, syms []clSymbol, clLens []uint8, clCodes []huffCode) {
+// dynamicHeader builds the dynamic block header pieces into the
+// encoder's scratch (e.clSyms, e.clLens, e.clCodes), returning the bit
+// cost and HLIT/HDIST/HCLEN.
+func (e *Encoder) dynamicHeader() (bits, hlit, hdist, hclen int) {
 	hlit = numLitLenSyms
-	for hlit > 257 && litLens[hlit-1] == 0 {
+	for hlit > 257 && e.dynLit[hlit-1] == 0 {
 		hlit--
 	}
 	hdist = numDistSyms
-	for hdist > 1 && distLens[hdist-1] == 0 {
+	for hdist > 1 && e.dynDist[hdist-1] == 0 {
 		hdist--
 	}
-	seq := make([]uint8, 0, hlit+hdist)
-	seq = append(seq, litLens[:hlit]...)
-	seq = append(seq, distLens[:hdist]...)
+	seq := e.seq[:0]
+	seq = append(seq, e.dynLit[:hlit]...)
+	seq = append(seq, e.dynDist[:hdist]...)
 
-	syms = rleCodeLengths(seq)
-	clFreq := make([]int, 19)
-	for _, s := range syms {
-		clFreq[s.sym]++
+	e.clSyms = rleCodeLengths(e.clSyms[:0], seq)
+	for i := range e.clFreq {
+		e.clFreq[i] = 0
 	}
-	clLens = buildLengths(clFreq, 7)
-	clCodes, _ = canonicalCodes(clLens)
+	for _, s := range e.clSyms {
+		e.clFreq[s.sym]++
+	}
+	e.huff.buildLengthsInto(e.clLens[:], e.clFreq[:], 7)
+	canonicalCodesInto(e.clCodes[:], e.clLens[:])
 
 	hclen = 19
-	for hclen > 4 && clLens[clOrder[hclen-1]] == 0 {
+	for hclen > 4 && e.clLens[clOrder[hclen-1]] == 0 {
 		hclen--
 	}
 	bits = 5 + 5 + 4 + 3*hclen
-	for _, s := range syms {
-		bits += int(clLens[s.sym]) + s.extraBits
+	for _, s := range e.clSyms {
+		bits += int(e.clLens[s.sym]) + s.extraBits
 	}
 	return
 }
 
 // rleCodeLengths run-length encodes a code length sequence with symbols
-// 16 (repeat previous 3-6), 17 (zeros 3-10), 18 (zeros 11-138).
-func rleCodeLengths(seq []uint8) []clSymbol {
-	var out []clSymbol
+// 16 (repeat previous 3-6), 17 (zeros 3-10), 18 (zeros 11-138),
+// appending to out.
+func rleCodeLengths(out []clSymbol, seq []uint8) []clSymbol {
 	i := 0
 	for i < len(seq) {
 		v := seq[i]

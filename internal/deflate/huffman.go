@@ -3,7 +3,6 @@ package deflate
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // maxCodeLen is the longest Huffman code length Deflate permits.
@@ -15,13 +14,14 @@ type huffCode struct {
 	len  uint8  // 0 means the symbol is unused
 }
 
-// canonicalCodes assigns canonical Huffman codes to the given code
-// lengths per RFC 1951 §3.2.2.
-func canonicalCodes(lengths []uint8) ([]huffCode, error) {
+// canonicalCodesInto assigns canonical Huffman codes for the given code
+// lengths per RFC 1951 §3.2.2 into out, which must have len(lengths)
+// entries. Unused symbols are zeroed. No allocations.
+func canonicalCodesInto(out []huffCode, lengths []uint8) error {
 	var blCount [maxCodeLen + 1]int
 	for _, l := range lengths {
 		if l > maxCodeLen {
-			return nil, fmt.Errorf("deflate: code length %d exceeds %d", l, maxCodeLen)
+			return fmt.Errorf("deflate: code length %d exceeds %d", l, maxCodeLen)
 		}
 		blCount[l]++
 	}
@@ -38,101 +38,133 @@ func canonicalCodes(lengths []uint8) ([]huffCode, error) {
 		kraft += blCount[bits] << (maxCodeLen - bits)
 	}
 	if kraft > 1<<maxCodeLen {
-		return nil, errors.New("deflate: over-subscribed code lengths")
+		return errors.New("deflate: over-subscribed code lengths")
 	}
-	out := make([]huffCode, len(lengths))
 	for i, l := range lengths {
 		if l == 0 {
+			out[i] = huffCode{}
 			continue
 		}
 		out[i] = huffCode{code: nextCode[l], len: l}
 		nextCode[l]++
 	}
+	return nil
+}
+
+// canonicalCodes is the allocating convenience form of canonicalCodesInto.
+func canonicalCodes(lengths []uint8) ([]huffCode, error) {
+	out := make([]huffCode, len(lengths))
+	if err := canonicalCodesInto(out, lengths); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-// buildLengths computes length-limited Huffman code lengths for the
-// given symbol frequencies using package-merge-free heap construction
-// followed by depth limiting (the simple "flatten overlong codes"
-// adjustment, which preserves prefix-freeness via canonical
-// reassignment). Symbols with zero frequency get length 0.
-func buildLengths(freq []int, limit int) []uint8 {
-	n := len(freq)
-	lengths := make([]uint8, n)
-	type node struct {
-		weight      int
-		sym         int // -1 for internal
-		left, right int // indices into nodes
-	}
-	var nodes []node
-	var heap []int // node indices, min-heap by weight
+// huffNode is one node of the Huffman construction forest; sym is -1 for
+// internal nodes, left/right index the scratch node pool.
+type huffNode struct {
+	weight      int
+	sym         int
+	left, right int
+}
 
-	push := func(idx int) {
-		heap = append(heap, idx)
-		i := len(heap) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if nodes[heap[p]].weight <= nodes[heap[i]].weight {
-				break
-			}
-			heap[p], heap[i] = heap[i], heap[p]
-			i = p
-		}
-	}
-	pop := func() int {
-		top := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			small := i
-			if l < len(heap) && nodes[heap[l]].weight < nodes[heap[small]].weight {
-				small = l
-			}
-			if r < len(heap) && nodes[heap[r]].weight < nodes[heap[small]].weight {
-				small = r
-			}
-			if small == i {
-				break
-			}
-			heap[i], heap[small] = heap[small], heap[i]
-			i = small
-		}
-		return top
-	}
+// symLen pairs a symbol with its (possibly clamped) code length during
+// length limiting.
+type symLen struct {
+	sym int
+	len int
+}
 
+// visitFrame is one stack entry of the iterative depth assignment.
+type visitFrame struct {
+	idx, depth int
+}
+
+// huffScratch holds the node pool, min-heap, traversal stack, and
+// length-limiting scratch for buildLengthsInto, so repeated Huffman
+// construction (three trees per deflate block) does not allocate.
+type huffScratch struct {
+	nodes []huffNode
+	heap  []int // node indices, min-heap by weight
+	stack []visitFrame
+	used  []symLen
+}
+
+func (s *huffScratch) push(idx int) {
+	s.heap = append(s.heap, idx)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.nodes[s.heap[p]].weight <= s.nodes[s.heap[i]].weight {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+}
+
+func (s *huffScratch) pop() int {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s.heap) && s.nodes[s.heap[l]].weight < s.nodes[s.heap[small]].weight {
+			small = l
+		}
+		if r < len(s.heap) && s.nodes[s.heap[r]].weight < s.nodes[s.heap[small]].weight {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.heap[i], s.heap[small] = s.heap[small], s.heap[i]
+		i = small
+	}
+	return top
+}
+
+// buildLengthsInto computes length-limited Huffman code lengths for the
+// given symbol frequencies into lengths (len(lengths) == len(freq)),
+// using heap construction followed by depth limiting (the simple
+// "flatten overlong codes" adjustment, which preserves prefix-freeness
+// via canonical reassignment). Symbols with zero frequency get length 0.
+func (s *huffScratch) buildLengthsInto(lengths []uint8, freq []int, limit int) {
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	s.nodes = s.nodes[:0]
+	s.heap = s.heap[:0]
 	live := 0
 	for sym, f := range freq {
 		if f > 0 {
-			nodes = append(nodes, node{weight: f, sym: sym, left: -1, right: -1})
-			push(len(nodes) - 1)
+			s.nodes = append(s.nodes, huffNode{weight: f, sym: sym, left: -1, right: -1})
+			s.push(len(s.nodes) - 1)
 			live++
 		}
 	}
 	switch live {
 	case 0:
-		return lengths
+		return
 	case 1:
 		// Deflate requires at least a 1-bit code for a lone symbol.
-		nodes[heap[0]].weight = 0
-		lengths[nodes[heap[0]].sym] = 1
-		return lengths
+		lengths[s.nodes[s.heap[0]].sym] = 1
+		return
 	}
-	for len(heap) > 1 {
-		a, b := pop(), pop()
-		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
-		push(len(nodes) - 1)
+	for len(s.heap) > 1 {
+		a, b := s.pop(), s.pop()
+		s.nodes = append(s.nodes, huffNode{weight: s.nodes[a].weight + s.nodes[b].weight, sym: -1, left: a, right: b})
+		s.push(len(s.nodes) - 1)
 	}
-	// Assign depths.
-	root := heap[0]
-	type visit struct{ idx, depth int }
-	stack := []visit{{root, 0}}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		nd := nodes[v.idx]
+	// Assign depths iteratively.
+	s.stack = append(s.stack[:0], visitFrame{s.heap[0], 0})
+	for len(s.stack) > 0 {
+		v := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		nd := s.nodes[v.idx]
 		if nd.sym >= 0 {
 			d := v.depth
 			if d == 0 {
@@ -141,16 +173,23 @@ func buildLengths(freq []int, limit int) []uint8 {
 			lengths[nd.sym] = uint8(d)
 			continue
 		}
-		stack = append(stack, visit{nd.left, v.depth + 1}, visit{nd.right, v.depth + 1})
+		s.stack = append(s.stack, visitFrame{nd.left, v.depth + 1}, visitFrame{nd.right, v.depth + 1})
 	}
-	limitLengths(lengths, limit)
+	s.limitLengths(lengths, limit)
+}
+
+// buildLengths is the allocating convenience form of buildLengthsInto.
+func buildLengths(freq []int, limit int) []uint8 {
+	var s huffScratch
+	lengths := make([]uint8, len(freq))
+	s.buildLengthsInto(lengths, freq, limit)
 	return lengths
 }
 
 // limitLengths enforces a maximum code length by shortening overlong
 // codes and re-balancing so the Kraft inequality still holds with
 // equality on the used portion.
-func limitLengths(lengths []uint8, limit int) {
+func (s *huffScratch) limitLengths(lengths []uint8, limit int) {
 	over := false
 	for _, l := range lengths {
 		if int(l) > limit {
@@ -161,27 +200,28 @@ func limitLengths(lengths []uint8, limit int) {
 	if !over {
 		return
 	}
-	// Collect used symbols sorted by (length, symbol).
-	type sl struct {
-		sym int
-		len int
-	}
-	var used []sl
+	// Collect used symbols sorted by (length, symbol). Keys are unique
+	// (symbols are distinct), so insertion sort yields the same order
+	// any comparison sort would — without allocating.
+	used := s.used[:0]
 	for sym, l := range lengths {
 		if l > 0 {
 			ln := int(l)
 			if ln > limit {
 				ln = limit
 			}
-			used = append(used, sl{sym, ln})
+			used = append(used, symLen{sym, ln})
 		}
 	}
-	sort.Slice(used, func(i, j int) bool {
-		if used[i].len != used[j].len {
-			return used[i].len < used[j].len
+	for i := 1; i < len(used); i++ {
+		u := used[i]
+		j := i - 1
+		for j >= 0 && (used[j].len > u.len || (used[j].len == u.len && used[j].sym > u.sym)) {
+			used[j+1] = used[j]
+			j--
 		}
-		return used[i].sym < used[j].sym
-	})
+		used[j+1] = u
+	}
 	// Repair Kraft: K = sum 2^(limit-len) must be <= 2^limit.
 	kraft := 0
 	for _, u := range used {
@@ -208,6 +248,7 @@ func limitLengths(lengths []uint8, limit int) {
 	for _, u := range used {
 		lengths[u.sym] = uint8(u.len)
 	}
+	s.used = used
 }
 
 // decodeTable is a bit-serial canonical Huffman decoder: firstCode and

@@ -104,11 +104,9 @@ const ChunkSize = 64
 func (e *HWEncoder) Compress(src []byte) []byte {
 	tokens := e.lz77HW(src)
 	var w bitWriter
-	fixedLit, _ := canonicalCodes(fixedLitLenLengths())
-	fixedDist, _ := canonicalCodes(fixedDistLengths())
 	w.writeBits(1, 1) // BFINAL
 	w.writeBits(1, 2) // BTYPE=01 fixed
-	writeTokens(&w, tokens, fixedLit, fixedDist)
+	writeTokens(&w, tokens, fixedLitCodes, fixedDistCodes)
 	return w.bytes()
 }
 

@@ -125,6 +125,18 @@ func fixedDistLengths() []uint8 {
 	return l
 }
 
+// The fixed Huffman codes never change, so both encoders share one
+// canonical assignment built at init instead of rebuilding per block.
+var (
+	fixedLitCodes  []huffCode
+	fixedDistCodes []huffCode
+)
+
+func init() {
+	fixedLitCodes, _ = canonicalCodes(fixedLitLenLengths())
+	fixedDistCodes, _ = canonicalCodes(fixedDistLengths())
+}
+
 // writeTokens emits the token stream plus end-of-block with the given
 // codes.
 func writeTokens(w *bitWriter, tokens []token, lit, dist []huffCode) {
@@ -149,21 +161,4 @@ func writeTokens(w *bitWriter, tokens []token, lit, dist []huffCode) {
 	}
 	eob := lit[endBlockSym]
 	w.writeCode(eob.code, uint(eob.len))
-}
-
-// tokenFrequencies tallies litlen and distance symbol frequencies for
-// dynamic Huffman construction (end-of-block included).
-func tokenFrequencies(tokens []token) (litFreq, distFreq []int) {
-	litFreq = make([]int, numLitLenSyms)
-	distFreq = make([]int, numDistSyms)
-	for _, t := range tokens {
-		if t.isLiteral() {
-			litFreq[t.lit]++
-		} else {
-			litFreq[lengthSym[t.len]]++
-			distFreq[distCode(int(t.dist))]++
-		}
-	}
-	litFreq[endBlockSym]++
-	return
 }

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -13,11 +14,18 @@ import (
 	"repro/internal/dram"
 	"repro/internal/nettcp"
 	"repro/internal/offload"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/wrkgen"
 )
+
+// Every sweep in this package takes a *runner.Pool: each parameter point
+// builds its own sim.System and sim.Engine, so points are independent
+// and fan out across the pool's workers. Results are assembled in input
+// order, so a parallel sweep prints byte-identically to a serial one
+// (nil pool); TestSweepsDeterministicUnderParallelism pins this down.
 
 // Scale bounds an experiment run. Quick keeps `go test` fast; Paper
 // approaches the paper's workload sizes.
@@ -121,18 +129,24 @@ type Fig2Point struct {
 }
 
 // Fig2 measures encrypted-connection bandwidth for the CPU and SmartNIC
-// configurations under injected packet drops.
-func Fig2(dropsPct []float64) []Fig2Point {
+// configurations under injected packet drops, one drop rate per worker.
+func Fig2(pool *runner.Pool, dropsPct []float64) []Fig2Point {
 	p := sim.DefaultParams()
 	const total = 8 << 20
-	var out []Fig2Point
-	for _, d := range dropsPct {
-		prob := d / 100
-		cpu := nettcp.MeasureGoodput(p, nettcp.CPUTLSHook{P: p}, prob, total, 11)
-		out = append(out, Fig2Point{Placement: "CPU", DropPct: d, Gbps: cpu.GoodputGbps})
-		nic := &nettcp.NICTLSHook{P: p, RecordLen: 16384}
-		nicRes := nettcp.MeasureGoodput(p, nic, prob, total, 11)
-		out = append(out, Fig2Point{Placement: "SmartNIC", DropPct: d, Gbps: nicRes.GoodputGbps, Resyncs: nicRes.Resyncs})
+	pairs, _ := runner.Map(context.Background(), pool, dropsPct,
+		func(_ context.Context, d float64, _ int) ([2]Fig2Point, error) {
+			prob := d / 100
+			cpu := nettcp.MeasureGoodput(p, nettcp.CPUTLSHook{P: p}, prob, total, 11)
+			nic := &nettcp.NICTLSHook{P: p, RecordLen: 16384}
+			nicRes := nettcp.MeasureGoodput(p, nic, prob, total, 11)
+			return [2]Fig2Point{
+				{Placement: "CPU", DropPct: d, Gbps: cpu.GoodputGbps},
+				{Placement: "SmartNIC", DropPct: d, Gbps: nicRes.GoodputGbps, Resyncs: nicRes.Resyncs},
+			}, nil
+		})
+	out := make([]Fig2Point, 0, 2*len(pairs))
+	for _, pr := range pairs {
+		out = append(out, pr[0], pr[1])
 	}
 	return out
 }
@@ -147,40 +161,44 @@ type Fig3Point struct {
 	NormalizedRatio float64 // HTTPS/HTTP memory bandwidth per request
 }
 
-// Fig3 compares HTTP and HTTPS memory bandwidth as connections grow.
-func Fig3(sc Scale, connCounts []int, msgSize int) ([]Fig3Point, error) {
-	var out []Fig3Point
-	for _, conns := range connCounts {
-		run := func(mode server.Mode) (server.Metrics, error) {
-			sys, err := newSystem(sc, PlaceCPU, 0)
+// Fig3 compares HTTP and HTTPS memory bandwidth as connections grow, one
+// connection count per worker.
+func Fig3(pool *runner.Pool, sc Scale, connCounts []int, msgSize int) ([]Fig3Point, error) {
+	out, err := runner.Map(context.Background(), pool, connCounts,
+		func(_ context.Context, conns, _ int) (Fig3Point, error) {
+			run := func(mode server.Mode) (server.Metrics, error) {
+				sys, err := newSystem(sc, PlaceCPU, 0)
+				if err != nil {
+					return server.Metrics{}, err
+				}
+				cfg := server.Config{
+					Sys: sys, Mode: mode, Workers: sc.Workers, MsgSize: msgSize,
+					Connections: conns, FileKind: corpus.HTML, Seed: 7,
+				}
+				if mode != server.PlainHTTP {
+					cfg.Backend = &offload.CPU{Sys: sys}
+				}
+				return server.RunClosedLoop(cfg, sc.WarmupPs, sc.MeasurePs)
+			}
+			http, err := run(server.PlainHTTP)
 			if err != nil {
-				return server.Metrics{}, err
+				return Fig3Point{}, err
 			}
-			cfg := server.Config{
-				Sys: sys, Mode: mode, Workers: sc.Workers, MsgSize: msgSize,
-				Connections: conns, FileKind: corpus.HTML, Seed: 7,
+			https, err := run(server.HTTPSMode)
+			if err != nil {
+				return Fig3Point{}, err
 			}
-			if mode != server.PlainHTTP {
-				cfg.Backend = &offload.CPU{Sys: sys}
+			ratio := 1.0
+			if http.MemBWGBps > 0.001 {
+				ratio = https.MemBWGBps / http.MemBWGBps
 			}
-			return server.RunClosedLoop(cfg, sc.WarmupPs, sc.MeasurePs)
-		}
-		http, err := run(server.PlainHTTP)
-		if err != nil {
-			return nil, err
-		}
-		https, err := run(server.HTTPSMode)
-		if err != nil {
-			return nil, err
-		}
-		ratio := 1.0
-		if http.MemBWGBps > 0.001 {
-			ratio = https.MemBWGBps / http.MemBWGBps
-		}
-		out = append(out, Fig3Point{
-			Connections: conns, HTTPMemGBps: http.MemBWGBps, HTTPSMemGBps: https.MemBWGBps,
-			NormalizedRatio: ratio,
+			return Fig3Point{
+				Connections: conns, HTTPMemGBps: http.MemBWGBps, HTTPSMemGBps: https.MemBWGBps,
+				NormalizedRatio: ratio,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -270,42 +288,46 @@ type Fig10Series struct {
 }
 
 // Fig10 sweeps LLC provisioning (the paper uses CAT for 10-50MB) and
-// samples Scratchpad occupancy while the HTTPS workload runs.
-func Fig10(llcSizes []int, sc Scale) ([]Fig10Series, error) {
-	var out []Fig10Series
-	for _, llc := range llcSizes {
-		sys, err := sim.NewSystem(sim.SystemConfig{
-			Params: sim.DefaultParams(), LLCBytes: llc, LLCWays: sc.LLCWays,
-			Geometry: mediumGeometry(), WithSmartDIMM: true,
+// samples Scratchpad occupancy while the HTTPS workload runs, one LLC
+// size per worker.
+func Fig10(pool *runner.Pool, llcSizes []int, sc Scale) ([]Fig10Series, error) {
+	out, err := runner.Map(context.Background(), pool, llcSizes,
+		func(_ context.Context, llc, _ int) (Fig10Series, error) {
+			sys, err := sim.NewSystem(sim.SystemConfig{
+				Params: sim.DefaultParams(), LLCBytes: llc, LLCWays: sc.LLCWays,
+				Geometry: mediumGeometry(), WithSmartDIMM: true,
+			})
+			if err != nil {
+				return Fig10Series{}, err
+			}
+			eng := sim.NewEngine()
+			srv, err := server.New(eng, server.Config{
+				Sys: sys, Backend: &offload.SmartDIMM{Sys: sys}, Mode: server.HTTPSMode,
+				Workers: sc.Workers, MsgSize: 4096, Connections: sc.Connections,
+				FileKind: corpus.Text, Seed: 3,
+			})
+			if err != nil {
+				return Fig10Series{}, err
+			}
+			gen := wrkgen.New(eng, srv, wrkgen.Config{Connections: sc.Connections})
+			series := &stats.TimeSeries{Name: fmt.Sprintf("llc=%dMB", llc>>20)}
+			var tick func()
+			tick = func() {
+				series.Append(eng.Now(), float64(sys.Dev.ScratchpadOccupancyBytes()))
+				eng.After(100*sim.Us, tick)
+			}
+			gen.Start()
+			eng.After(0, tick)
+			eng.RunUntil(sc.WarmupPs + sc.MeasurePs)
+			return Fig10Series{
+				LLCBytes:      llc,
+				Series:        series,
+				EquilibriumKB: series.MaxAfter(sc.WarmupPs) / 1024,
+				ForceRecycles: sys.Driver.Stats().ForceRecycleCalls,
+			}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		eng := sim.NewEngine()
-		srv, err := server.New(eng, server.Config{
-			Sys: sys, Backend: &offload.SmartDIMM{Sys: sys}, Mode: server.HTTPSMode,
-			Workers: sc.Workers, MsgSize: 4096, Connections: sc.Connections,
-			FileKind: corpus.Text, Seed: 3,
-		})
-		if err != nil {
-			return nil, err
-		}
-		gen := wrkgen.New(eng, srv, wrkgen.Config{Connections: sc.Connections})
-		series := &stats.TimeSeries{Name: fmt.Sprintf("llc=%dMB", llc>>20)}
-		var tick func()
-		tick = func() {
-			series.Append(eng.Now(), float64(sys.Dev.ScratchpadOccupancyBytes()))
-			eng.After(100*sim.Us, tick)
-		}
-		gen.Start()
-		eng.After(0, tick)
-		eng.RunUntil(sc.WarmupPs + sc.MeasurePs)
-		out = append(out, Fig10Series{
-			LLCBytes:      llc,
-			Series:        series,
-			EquilibriumKB: series.MaxAfter(sc.WarmupPs) / 1024,
-			ForceRecycles: sys.Driver.Stats().ForceRecycleCalls,
-		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -324,9 +346,10 @@ type PerfPoint struct {
 
 // RunPlacements measures the server under every placement supporting
 // the ULP, normalizing to CPU (Fig. 11 for TLS, Fig. 12 for
-// compression).
-func RunPlacements(sc Scale, mode server.Mode, msgSizes []int, kind corpus.Kind) ([]PerfPoint, error) {
-	var out []PerfPoint
+// compression). All (message size, placement) simulations fan out
+// across the pool; normalization happens after the barrier, against the
+// CPU run of the same message size.
+func RunPlacements(pool *runner.Pool, sc Scale, mode server.Mode, msgSizes []int, kind corpus.Kind) ([]PerfPoint, error) {
 	placements := []Placement{PlaceCPU, PlaceSmartNIC, PlaceQAT, PlaceSmartDIMM}
 	warm, meas := sc.WarmupPs, sc.MeasurePs
 	if mode == server.CompressedHTTP {
@@ -335,35 +358,57 @@ func RunPlacements(sc Scale, mode server.Mode, msgSizes []int, kind corpus.Kind)
 		warm *= 8
 		meas *= 8
 	}
+	type job struct {
+		msg   int
+		place Placement
+	}
+	type result struct {
+		m    server.Metrics
+		skip bool // placement does not support this ULP
+	}
+	jobs := make([]job, 0, len(msgSizes)*len(placements))
 	for _, msg := range msgSizes {
-		var cpuBase server.Metrics
 		for _, place := range placements {
-			sys, err := newSystem(sc, place, 0)
+			jobs = append(jobs, job{msg: msg, place: place})
+		}
+	}
+	results, err := runner.Map(context.Background(), pool, jobs,
+		func(_ context.Context, j job, _ int) (result, error) {
+			sys, err := newSystem(sc, j.place, 0)
 			if err != nil {
-				return nil, err
+				return result{}, err
 			}
-			b := backendFor(place, sys)
+			b := backendFor(j.place, sys)
 			if !b.Supports(mode2ulp(mode)) {
-				continue
+				return result{skip: true}, nil
 			}
 			m, err := server.RunClosedLoop(server.Config{
 				Sys: sys, Backend: b, Mode: mode, Workers: sc.Workers,
-				MsgSize: msg, Connections: sc.Connections, FileKind: kind, Seed: 5,
+				MsgSize: j.msg, Connections: sc.Connections, FileKind: kind, Seed: 5,
 			}, warm, meas)
 			if err != nil {
-				return nil, err
+				return result{}, err
 			}
-			pt := PerfPoint{Placement: place, MsgSize: msg, Metrics: m}
-			if place == PlaceCPU {
-				cpuBase = m
-			}
-			if cpuBase.RPS > 0 {
-				pt.RPSNorm = m.RPS / cpuBase.RPS
-				pt.CPUNorm = perReq(m.CPUBusyPs, m.Requests) / perReq(cpuBase.CPUBusyPs, cpuBase.Requests)
-				pt.MemNorm = perReqU(m.MemBytes, m.Requests) / perReqU(cpuBase.MemBytes, cpuBase.Requests)
-			}
-			out = append(out, pt)
+			return result{m: m}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []PerfPoint
+	for i, j := range jobs {
+		if results[i].skip {
+			continue
 		}
+		m := results[i].m
+		pt := PerfPoint{Placement: j.place, MsgSize: j.msg, Metrics: m}
+		// The CPU placement leads each message-size group.
+		cpuBase := results[(i/len(placements))*len(placements)].m
+		if cpuBase.RPS > 0 {
+			pt.RPSNorm = m.RPS / cpuBase.RPS
+			pt.CPUNorm = perReq(m.CPUBusyPs, m.Requests) / perReq(cpuBase.CPUBusyPs, cpuBase.Requests)
+			pt.MemNorm = perReqU(m.MemBytes, m.Requests) / perReqU(cpuBase.MemBytes, cpuBase.Requests)
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }
@@ -400,8 +445,10 @@ type Table1Row struct {
 }
 
 // Table1 measures performance isolation: Nginx+TLS co-running with the
-// mcf-like antagonist, each normalized to its solo run.
-func Table1(sc Scale) ([]Table1Row, error) {
+// mcf-like antagonist, each normalized to its solo run. Each placement
+// needs three independent simulations (solo server, solo antagonist,
+// co-run); all twelve fan out across the pool.
+func Table1(pool *runner.Pool, sc Scale) ([]Table1Row, error) {
 	// Isolation needs headroom: size the LLC so the solo server largely
 	// fits (low miss rate), then let the antagonist evict it. The
 	// testbed's 22MB LLC plays this role for 1024 connections; scale it
@@ -411,51 +458,71 @@ func Table1(sc Scale) ([]Table1Row, error) {
 		sc.LLCBytes = 1 << 20
 	}
 	placements := []Placement{PlaceCPU, PlaceSmartNIC, PlaceQAT, PlaceSmartDIMM}
-	var out []Table1Row
+	const (
+		soloServer = iota
+		soloAntagonist
+		coRun
+		jobsPerPlace
+	)
+	type job struct {
+		place Placement
+		kind  int
+	}
+	type result struct {
+		rps, ops     float64 // solo measurements
+		coRPS, coOps float64 // co-run measurements
+	}
+	jobs := make([]job, 0, len(placements)*jobsPerPlace)
 	for _, place := range placements {
-		// Solo server.
-		soloSys, err := newSystem(sc, place, 0)
-		if err != nil {
-			return nil, err
+		for k := 0; k < jobsPerPlace; k++ {
+			jobs = append(jobs, job{place: place, kind: k})
 		}
-		soloM, err := server.RunClosedLoop(server.Config{
-			Sys: soloSys, Backend: backendFor(place, soloSys), Mode: server.HTTPSMode,
-			Workers: sc.Workers, MsgSize: 4096, Connections: sc.Connections,
-			FileKind: corpus.Text, Seed: 5,
-		}, sc.WarmupPs, sc.MeasurePs)
-		if err != nil {
-			return nil, err
-		}
-		// Solo antagonist.
-		mcfSys, err := newSystem(sc, place, 0)
-		if err != nil {
-			return nil, err
-		}
-		soloOps, err := runAntagonist(mcfSys, nil, sc)
-		if err != nil {
-			return nil, err
-		}
-		// Co-run.
-		coSys, err := newSystem(sc, place, 0)
-		if err != nil {
-			return nil, err
-		}
-		coRPS, coOps, err := runCoLocated(coSys, place, sc)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runner.Map(context.Background(), pool, jobs,
+		func(_ context.Context, j job, _ int) (result, error) {
+			sys, err := newSystem(sc, j.place, 0)
+			if err != nil {
+				return result{}, err
+			}
+			switch j.kind {
+			case soloServer:
+				m, err := server.RunClosedLoop(server.Config{
+					Sys: sys, Backend: backendFor(j.place, sys), Mode: server.HTTPSMode,
+					Workers: sc.Workers, MsgSize: 4096, Connections: sc.Connections,
+					FileKind: corpus.Text, Seed: 5,
+				}, sc.WarmupPs, sc.MeasurePs)
+				if err != nil {
+					return result{}, err
+				}
+				return result{rps: m.RPS}, nil
+			case soloAntagonist:
+				ops, err := runAntagonist(sys, sc)
+				return result{ops: ops}, err
+			default:
+				coRPS, coOps, err := runCoLocated(sys, j.place, sc)
+				return result{coRPS: coRPS, coOps: coOps}, err
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table1Row, 0, len(placements))
+	for i, place := range placements {
+		solo := results[i*jobsPerPlace+soloServer]
+		ant := results[i*jobsPerPlace+soloAntagonist]
+		co := results[i*jobsPerPlace+coRun]
 		out = append(out, Table1Row{
 			Placement:     place,
-			NginxSlowdown: 1 - coRPS/soloM.RPS,
-			McfSlowdown:   1 - coOps/soloOps,
-			CoRunRPS:      coRPS,
+			NginxSlowdown: 1 - co.coRPS/solo.rps,
+			McfSlowdown:   1 - co.coOps/ant.ops,
+			CoRunRPS:      co.coRPS,
 		})
 	}
 	return out, nil
 }
 
 // runAntagonist measures the co-runner's solo throughput.
-func runAntagonist(sys *sim.System, _ interface{}, sc Scale) (float64, error) {
+func runAntagonist(sys *sim.System, sc Scale) (float64, error) {
 	eng := sim.NewEngine()
 	a, err := corun.Start(eng, corun.DefaultConfig(sys))
 	if err != nil {

@@ -21,7 +21,7 @@ func tiny() Scale {
 }
 
 func TestFig2Shape(t *testing.T) {
-	pts := Fig2([]float64{0, 0.5})
+	pts := Fig2(nil, []float64{0, 0.5})
 	if len(pts) != 4 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -48,7 +48,7 @@ func dropKey(f float64) string {
 }
 
 func TestFig3RatioGrowsWithConnections(t *testing.T) {
-	pts, err := Fig3(tiny(), []int{8, 64}, 4096)
+	pts, err := Fig3(nil, tiny(), []int{8, 64}, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestFig9TraceProperties(t *testing.T) {
 
 func TestFig10EquilibriumScalesWithLLC(t *testing.T) {
 	sc := tiny()
-	series, err := Fig10([]int{128 << 10, 1 << 20}, sc)
+	series, err := Fig10(nil, []int{128 << 10, 1 << 20}, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestFig10EquilibriumScalesWithLLC(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
-	pts, err := RunPlacements(tiny(), server.HTTPSMode, []int{4096}, corpus.Text)
+	pts, err := RunPlacements(nil, tiny(), server.HTTPSMode, []int{4096}, corpus.Text)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	pts, err := RunPlacements(tiny(), server.CompressedHTTP, []int{4096}, corpus.HTML)
+	pts, err := RunPlacements(nil, tiny(), server.CompressedHTTP, []int{4096}, corpus.HTML)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestTable1Isolation(t *testing.T) {
-	rows, err := Table1(tiny())
+	rows, err := Table1(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -217,9 +217,7 @@ func (s *Sender) pump() {
 
 // armRTO (re)schedules the retransmission timer.
 func (s *Sender) armRTO() {
-	if s.rtoCancel != nil {
-		s.rtoCancel()
-	}
+	s.rtoCancel.Cancel()
 	if s.done || s.inFlight() == 0 {
 		return
 	}
@@ -286,9 +284,7 @@ func (s *Sender) onAck(p netsim.Packet) {
 		if s.sndUna >= s.totalBytes {
 			s.done = true
 			s.DonePs = s.eng.Now()
-			if s.rtoCancel != nil {
-				s.rtoCancel()
-			}
+			s.rtoCancel.Cancel()
 			return
 		}
 		s.armRTO()

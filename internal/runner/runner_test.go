@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapInputOrder checks results land at their item's index even when
+// completion order is scrambled.
+func TestMapInputOrder(t *testing.T) {
+	items := make([]int, 32)
+	for i := range items {
+		items[i] = i
+	}
+	p := New(8)
+	got, err := Map(context.Background(), p, items, func(_ context.Context, it, idx int) (int, error) {
+		// Later items finish first.
+		time.Sleep(time.Duration(len(items)-idx) * 100 * time.Microsecond)
+		return it * it, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i*i)
+		}
+	}
+}
+
+// TestMapSerialNilPool checks a nil pool runs in the calling goroutine,
+// strictly in order.
+func TestMapSerialNilPool(t *testing.T) {
+	var order []int
+	got, err := Map(context.Background(), nil, []int{10, 20, 30}, func(_ context.Context, it, idx int) (int, error) {
+		order = append(order, idx) // no locking: must be the caller's goroutine
+		return it + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 11 || got[1] != 21 || got[2] != 31 {
+		t.Fatalf("results = %v", got)
+	}
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("serial execution order = %v", order)
+		}
+	}
+}
+
+// TestMapFirstError checks the first error is returned and cancels the
+// context seen by other calls.
+func TestMapFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelled atomic.Int32
+	items := make([]int, 64)
+	_, err := Map(context.Background(), New(4), items, func(ctx context.Context, _ int, idx int) (int, error) {
+		if idx == 5 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+			cancelled.Add(1)
+		case <-time.After(20 * time.Millisecond):
+		}
+		return idx, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestMapSerialError checks serial mode stops at the first failure.
+func TestMapSerialError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	_, err := Map(context.Background(), nil, []int{0, 1, 2, 3}, func(_ context.Context, _, idx int) (int, error) {
+		ran++
+		if idx == 1 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d items after error, want 2", ran)
+	}
+}
+
+// TestMapContextCancel checks caller cancellation surfaces as the error.
+func TestMapContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 128)
+	done := make(chan struct{})
+	var started atomic.Int32
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, New(2), items, func(ctx context.Context, _, idx int) (int, error) {
+			started.Add(1)
+			select {
+			case <-ctx.Done():
+			case <-time.After(50 * time.Millisecond):
+			}
+			return idx, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if int(started.Load()) == len(items) {
+		t.Fatalf("cancellation admitted all %d items", len(items))
+	}
+}
+
+// TestMapConcurrencyBound checks no more than Workers() calls run at
+// once.
+func TestMapConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	items := make([]int, 24)
+	_, err := Map(context.Background(), New(workers), items, func(_ context.Context, _, idx int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return idx, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestNewDefaults checks worker defaulting.
+func TestNewDefaults(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must default to at least one worker")
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("Workers() = %d, want 7", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+}
+
+// TestMapEmpty checks the empty-input fast path.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), New(4), nil, func(_ context.Context, it, _ int) (int, error) {
+		return it, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

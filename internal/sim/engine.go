@@ -9,15 +9,21 @@ import (
 	"fmt"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback. Events are pooled on a free list so
+// steady-state scheduling allocates nothing; gen disambiguates
+// incarnations of a recycled event so a stale Cancel handle is a no-op
+// rather than killing whatever reused the slot.
 type event struct {
-	at   int64 // picoseconds
-	seq  uint64
-	fn   func()
-	dead *bool
+	at    int64 // picoseconds
+	seq   uint64
+	fn    func()
+	gen   uint64
+	index int // heap position; -1 once popped or cancelled
 }
 
 // eventHeap orders events by time, then insertion order for determinism.
+// Swap/Push/Pop keep each event's index current so cancellation can
+// remove it in O(log n) without a tombstone scan.
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -27,13 +33,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1
 	*h = old[:n-1]
 	return ev
 }
@@ -44,6 +59,7 @@ type Engine struct {
 	now    int64
 	seq    uint64
 	events eventHeap
+	free   []*event
 	ran    uint64
 }
 
@@ -56,20 +72,55 @@ func (e *Engine) Now() int64 { return e.now }
 // Processed returns how many events have run.
 func (e *Engine) Processed() uint64 { return e.ran }
 
-// Cancel is returned by At/After; calling it prevents the event from
-// firing (idempotent).
-type Cancel func()
+// Cancel is a handle returned by At/After; Cancel removes the event
+// from the queue (idempotent, allocation-free). The zero value is a
+// no-op, so a Cancel field needs no nil guard before use.
+type Cancel struct {
+	e   *Engine
+	ev  *event
+	gen uint64
+}
+
+// Cancel prevents the event from firing. Calling it after the event has
+// run, been cancelled, or been recycled into a new event does nothing.
+func (c Cancel) Cancel() {
+	if c.ev == nil || c.ev.gen != c.gen {
+		return
+	}
+	heap.Remove(&c.e.events, c.ev.index)
+	c.e.recycle(c.ev)
+}
+
+// alloc takes an event from the free list, or makes one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle retires an event: the generation bump invalidates outstanding
+// Cancel handles, and dropping fn releases the callback's captures.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn at absolute time t (>= Now, else it runs at Now).
 func (e *Engine) At(t int64, fn func()) Cancel {
 	if t < e.now {
 		t = e.now
 	}
-	dead := new(bool)
-	ev := &event{at: t, seq: e.seq, fn: fn, dead: dead}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return func() { *dead = true }
+	return Cancel{e: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn delta picoseconds from now.
@@ -79,28 +130,23 @@ func (e *Engine) After(delta int64, fn func()) Cancel {
 
 // Step runs the next event; it reports whether one was run.
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if *ev.dead {
-			continue
-		}
-		e.now = ev.at
-		e.ran++
-		ev.fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.events).(*event)
+	at, fn := ev.at, ev.fn
+	e.recycle(ev) // before fn: the callback may schedule into this slot
+	e.now = at
+	e.ran++
+	fn()
+	return true
 }
 
 // RunUntil processes events until the queue is empty or time exceeds
 // deadline. It returns the number of events processed.
 func (e *Engine) RunUntil(deadline int64) uint64 {
 	n := uint64(0)
-	for e.events.Len() > 0 {
-		next := e.peekTime()
-		if next > deadline {
-			break
-		}
+	for len(e.events) > 0 && e.events[0].at <= deadline {
 		if e.Step() {
 			n++
 		}
@@ -114,38 +160,20 @@ func (e *Engine) RunUntil(deadline int64) uint64 {
 // Run processes events until none remain. It guards against runaway
 // simulations with a generous event cap.
 func (e *Engine) Run() uint64 {
-	const cap = 500_000_000
+	const maxEvents = 500_000_000
 	n := uint64(0)
 	for e.Step() {
 		n++
-		if n > cap {
-			panic(fmt.Sprintf("sim: runaway simulation (> %d events)", uint64(cap)))
+		if n > maxEvents {
+			panic(fmt.Sprintf("sim: runaway simulation (> %d events)", uint64(maxEvents)))
 		}
 	}
 	return n
 }
 
-func (e *Engine) peekTime() int64 {
-	for e.events.Len() > 0 {
-		if *(e.events[0].dead) {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0].at
-	}
-	return 1<<63 - 1
-}
-
-// Pending returns the number of live queued events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !*ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of live queued events. Cancelled events
+// are removed eagerly, so this is the heap size: O(1).
+func (e *Engine) Pending() int { return len(e.events) }
 
 // Time helpers.
 const (

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleCancel exercises the hot schedule/cancel pair
+// (the TCP model re-arms its RTO on every ACK). Steady state must be
+// allocation-free: events come from the free list and Cancel is a value
+// handle, not a closure.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := e.After(int64(i%97), fn)
+		c.Cancel()
+		if i%64 == 0 {
+			for e.Step() {
+			}
+		}
+	}
+}
+
+// BenchmarkEngineScheduleRun measures pure schedule+dispatch throughput
+// with a deep queue, the RunUntil hot loop of every experiment.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		e.After(int64(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(int64(i+depth), fn)
+		e.Step()
+	}
+}

@@ -39,8 +39,8 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	ran := false
 	cancel := e.After(10, func() { ran = true })
-	cancel()
-	cancel() // idempotent
+	cancel.Cancel()
+	cancel.Cancel() // idempotent
 	e.Run()
 	if ran {
 		t.Fatal("cancelled event ran")
