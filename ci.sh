@@ -6,10 +6,16 @@
 # Stages:
 #   1. go vet       — static checks across the module
 #   2. go build     — everything compiles, including cmds and examples
-#   3. race tests   — the concurrency-bearing packages (the runner pool
-#                     and the event kernel it drives) under -race
-#   4. go test      — the full suite, including the serial-vs-parallel
-#                     sweep determinism gate in internal/experiments
+#   3. chaos smoke  — the bounded (-short) chaos soak first: randomized
+#                     fault schedules against the cross-layer invariants,
+#                     cheap enough to fail fast before the long stages
+#   4. race tests   — the concurrency-bearing packages (the runner pool,
+#                     the event kernel, and the offload/nettcp layers the
+#                     server model drives from pool workers) under -race
+#   5. go test      — the full suite with a shuffled test order: the
+#                     serial-vs-parallel sweep determinism gate plus the
+#                     full 200-schedule chaos soak, and -shuffle guards
+#                     against inter-test state leaking into results
 set -eu
 cd "$(dirname "$0")"
 
@@ -19,10 +25,13 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./internal/runner/ ./internal/sim/"
-go test -race ./internal/runner/ ./internal/sim/
+echo "== go test -short ./internal/chaos/"
+go test -short ./internal/chaos/
 
-echo "== go test ./..."
-go test ./...
+echo "== go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/"
+go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/
+
+echo "== go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
 echo "ci.sh: all gates passed"

@@ -6,6 +6,7 @@
 //
 //	figures               # all experiments at quick scale
 //	figures -fig 11       # one figure
+//	figures -fig 2b       # bursty-loss variant of Fig. 2 (not in "all")
 //	figures -table 1      # Table I
 //	figures -power        # §VII-D power/area model
 //	figures -scale paper  # testbed-scale workloads (slower)
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/corpus"
 	"repro/internal/experiments"
@@ -25,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure number to regenerate (2,3,9,10,11,12,13); 0 = all")
+	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13); empty = all (2b excluded)")
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
@@ -45,11 +47,17 @@ func main() {
 		sc = experiments.PaperScale()
 	}
 
-	all := *fig == 0 && *table == 0 && !*pow
-	run := func(n int) bool { return all || *fig == n }
+	all := *fig == "" && *table == 0 && !*pow
+	run := func(n int) bool { return all || *fig == strconv.Itoa(n) }
 
 	if run(2) {
 		fig2(pool)
+	}
+	// Fig. 2b is a robustness extension beyond the paper's figure set; it
+	// runs only when asked for, keeping the default output identical to
+	// the paper's figures.
+	if *fig == "2b" {
+		fig2b(pool)
 	}
 	if run(3) {
 		fig3(pool, sc)
@@ -88,6 +96,20 @@ func fig2(pool *runner.Pool) {
 	fmt.Printf("%-10s %-10s %-12s %s\n", "drop(%)", "config", "Gbps", "resyncs")
 	for _, p := range experiments.Fig2(pool, []float64{0, 0.01, 0.05, 0.1, 0.5, 1.0}) {
 		fmt.Printf("%-10.2f %-10s %-12.2f %d\n", p.DropPct, p.Placement, p.Gbps, p.Resyncs)
+	}
+	fmt.Println()
+}
+
+func fig2b(pool *runner.Pool) {
+	fmt.Println("=== Fig. 2b: encrypted-connection goodput under bursty loss + link flaps ===")
+	fmt.Println("model: Gilbert-Elliott bursts (p_bad->good=0.2, loss_bad=0.8), 200us outage per 50ms,")
+	fmt.Println("       0.1% reorder; each burst re-desynchronizes the SmartNIC inline engine")
+	fmt.Printf("%-12s %-10s %-10s %-12s %-10s %-10s %s\n",
+		"p(g->b)%", "config", "Gbps", "burstdrops", "flapdrops", "resyncs", "sw-fallbacks")
+	for _, p := range experiments.Fig2b(pool, []float64{0, 0.05, 0.1, 0.2, 0.5}) {
+		fmt.Printf("%-12.2f %-10s %-10.2f %-12d %-10d %-10d %d\n",
+			p.PGoodBadPct, p.Placement, p.Gbps, p.BurstDrops, p.FlapDrops,
+			p.Resyncs, p.FallbackEncrypts)
 	}
 	fmt.Println()
 }

@@ -135,7 +135,11 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
-// MustNew is New that panics on error, for tests and fixed configs.
+// MustNew is New that panics on error. It exists for tests and
+// compile-time-fixed configurations only: a failure means the literal
+// config in the source is invalid — a programmer error, which is the
+// one class of failure the codebase still panics on. Anything built
+// from runtime input must call New and propagate the error.
 func MustNew(cfg Config) *Cache {
 	c, err := New(cfg)
 	if err != nil {

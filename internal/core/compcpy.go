@@ -9,13 +9,21 @@ import (
 	"repro/internal/dram"
 )
 
-// Errors returned by the CompCpy path.
+// Errors returned by the CompCpy path. ErrNoScratchpad, ErrDSAFault and
+// ErrTranslationInsert are degradable: the offload layer falls back to
+// the CPU software path when it sees them (errors.Is).
 var (
 	// ErrNoScratchpad means the Scratchpad (or Config Memory) could not
 	// supply enough pages even after Force-Recycle.
 	ErrNoScratchpad = errors.New("core: scratchpad exhausted")
 	// ErrNotAligned mirrors Algorithm 2's page-alignment check.
 	ErrNotAligned = errors.New("core: buffers must be 4KB page aligned")
+	// ErrTranslationInsert means the device's Translation Table could not
+	// accept a registration (cuckoo + CAM full, or an injected fault).
+	ErrTranslationInsert = errors.New("core: translation table insert failed")
+	// ErrDSAFault means the device aborted the record because a DSA
+	// faulted mid-offload; the destination buffer holds no usable data.
+	ErrDSAFault = errors.New("core: DSA fault aborted the offload")
 )
 
 // Host is the memory-system interface CompCpy drives: cached loads and
@@ -38,6 +46,7 @@ type DriverStats struct {
 	BytesOffloaded    uint64
 	PagesAllocated    uint64
 	PagesFreed        uint64
+	OffloadAborts     uint64 // CompCpy calls that failed and aborted the record
 }
 
 // Driver is the SmartDIMM kernel-driver model (§V-C): it owns the
@@ -49,6 +58,14 @@ type Driver struct {
 	// starts; MMIOBase is the global address of the config space.
 	Base     uint64
 	MMIOBase uint64
+
+	// AbortProbe, when non-nil, reports the device's cumulative record
+	// aborts (DeviceStats.RecordAborts). CompCpy samples it around the
+	// copy to detect a DSA fault that the data path cannot signal — the
+	// hardware would raise an interrupt; the model reads a counter. The
+	// simulator is synchronous, so a delta can only come from this call's
+	// own record.
+	AbortProbe func() uint64
 
 	mu        sync.Mutex
 	freePages int64 // lazily refreshed Scratchpad page estimate
@@ -216,9 +233,18 @@ func (d *Driver) CompCpy(core int, dbuf, sbuf uint64, size int, ctx *OffloadCont
 	}
 	elapsed += lat
 
+	// Snapshot the device's abort counter: a DSA fault mid-offload tears
+	// the record down device-side without an error on the data path, so
+	// the driver detects it by the counter moving.
+	var abortsBefore uint64
+	if d.AbortProbe != nil {
+		abortsBefore = d.AbortProbe()
+	}
+
 	// Lines 21-23: register source and destination ranges plus context.
 	lat, err = d.register(sbuf, dbuf, size, nPages, ctx)
 	if err != nil {
+		d.abortOffload(sbuf)
 		return 0, err
 	}
 	elapsed += lat
@@ -231,10 +257,12 @@ func (d *Driver) CompCpy(core int, dbuf, sbuf uint64, size int, ctx *OffloadCont
 	for off := 0; off < size; off += dram.CachelineSize {
 		rl, err := d.host.Read64(core, sbuf+uint64(off), line[:])
 		if err != nil {
+			d.abortOffload(sbuf)
 			return 0, err
 		}
 		wl, err := d.host.Write64(core, dbuf+uint64(off), line[:])
 		if err != nil {
+			d.abortOffload(sbuf)
 			return 0, err
 		}
 		copyLat += rl + wl
@@ -245,8 +273,28 @@ func (d *Driver) CompCpy(core int, dbuf, sbuf uint64, size int, ctx *OffloadCont
 			copyLat += membarPs * memMLP // fence cost is not overlapped
 		}
 	}
+	if d.AbortProbe != nil && d.AbortProbe() > abortsBefore {
+		d.mu.Lock()
+		d.stats.OffloadAborts++
+		d.mu.Unlock()
+		return 0, fmt.Errorf("core: record aborted mid-offload: %w", ErrDSAFault)
+	}
 	elapsed += copyLat / memMLP
 	return elapsed, nil
+}
+
+// abortOffload best-effort tears down a record the driver gave up on
+// (registration or copy failure), so the device's Scratchpad, Config
+// Memory and Translation Table entries are reclaimed instead of leaking.
+func (d *Driver) abortOffload(sbuf uint64) {
+	d.mu.Lock()
+	d.stats.OffloadAborts++
+	d.mu.Unlock()
+	var hdr [dram.CachelineSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:], regMagic)
+	hdr[2] = opAbort
+	binary.LittleEndian.PutUint64(hdr[8:], d.localPage(sbuf))
+	d.host.MMIOWrite(d.MMIOBase, hdr[:]) // best effort; errors are moot here
 }
 
 // membarPs is the modelled cost of the store fence inserted between

@@ -226,7 +226,10 @@ func TestCompressionOffloadRoundTrip(t *testing.T) {
 func TestDecompressionOffloadRoundTrip(t *testing.T) {
 	r := newRig(t, 256*1024, 8)
 	data := corpus.Generate(corpus.JSON, MaxCompressInput, 5)
-	compressed := EncodeCompressedPage(data, deflate.NewHWEncoder(deflate.PaperHWConfig()))
+	compressed, err := EncodeCompressedPage(data, deflate.NewHWEncoder(deflate.PaperHWConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	sbuf, _ := r.driver.AllocPages(1)
 	dbuf, _ := r.driver.AllocPages(1)
@@ -510,7 +513,10 @@ func TestCompressedPageFormat(t *testing.T) {
 	enc := deflate.NewHWEncoder(deflate.PaperHWConfig())
 	// Compressible data: deflate payload.
 	data := bytes.Repeat([]byte("abcd"), 1023)
-	page := EncodeCompressedPage(data, enc)
+	page, err := EncodeCompressedPage(data, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(page) != PageSize {
 		t.Fatal("page size wrong")
 	}
@@ -521,20 +527,18 @@ func TestCompressedPageFormat(t *testing.T) {
 	// Incompressible data: raw fallback at the maximum input size.
 	rnd := make([]byte, MaxCompressInput)
 	rand.New(rand.NewSource(1)).Read(rnd)
-	page = EncodeCompressedPage(rnd, enc)
+	page, err = EncodeCompressedPage(rnd, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err = DecodeCompressedPage(page)
 	if err != nil || !bytes.Equal(out, rnd) {
 		t.Fatal("raw fallback round trip failed")
 	}
-	// Oversized input panics (caller contract).
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("oversized compression input accepted")
-			}
-		}()
-		EncodeCompressedPage(make([]byte, PageSize), enc)
-	}()
+	// Oversized input is rejected with an error, not a panic.
+	if _, err := EncodeCompressedPage(make([]byte, PageSize), enc); err == nil {
+		t.Error("oversized compression input accepted")
+	}
 	// Corrupt header rejected.
 	if _, err := DecodeCompressedPage([]byte{1}); err == nil {
 		t.Fatal("short page accepted")

@@ -6,10 +6,16 @@ import (
 
 	"repro/internal/cuckoo"
 	"repro/internal/dram"
+	"repro/internal/fault"
 )
 
 // regMagic marks a valid MMIO registration header.
 const regMagic = 0x5D1A
+
+// opAbort is the registration-header op byte that tears down an
+// in-flight record instead of starting one (driver-initiated abort after
+// a failed CompCpy).
+const opAbort = 0xFF
 
 // DeviceConfig sizes the buffer device. The zero value is invalid; use
 // PaperDeviceConfig (8MB Scratchpad, 8MB Config Memory, 12288-entry
@@ -58,6 +64,7 @@ type DeviceStats struct {
 	AuthFailures    uint64 // TLS decrypt tag verification failures
 	StaleEvictions  uint64 // re-registrations that retired a stale allocation
 	DSAErrors       uint64
+	RecordAborts    uint64 // records torn down after a DSA fault or abort op
 	BufferCycles    int64 // buffer-device clock (1/4 DRAM clock) high-water
 }
 
@@ -79,6 +86,11 @@ type Device struct {
 	// records maps the record's first source page to its record for
 	// multi-page attach.
 	records map[uint64]*record
+	// Faults, when non-nil, injects device-side faults: "core.alert"
+	// (spurious ALERT_N on a data read), "core.dsa" (DSA processing
+	// fault, aborting the record), and "core.ttinsert" (Translation
+	// Table insert failure during registration).
+	Faults *fault.Injector
 }
 
 type regState struct {
@@ -141,6 +153,16 @@ func (d *Device) PendingPages() []uint64 { return d.sp.pendingPages() }
 // ablation.
 func (d *Device) TranslationStats() cuckoo.Stats { return d.tt.Stats() }
 
+// ConfigFreePages returns the free Config Memory page count (the chaos
+// soak's conservation invariant reads it alongside ScratchpadFreePages).
+func (d *Device) ConfigFreePages() int { return d.cm.freePages() }
+
+// TranslationCount returns the live Translation Table entry count.
+func (d *Device) TranslationCount() int { return d.tt.Len() }
+
+// InFlightRecords returns the number of registered, un-retired records.
+func (d *Device) InFlightRecords() int { return len(d.records) }
+
 // HandleCommand implements dram.Module: the arbiter of Fig. 6.
 func (d *Device) HandleCommand(cycle int64, cmd dram.Command, wdata, rdata []byte) (bool, error) {
 	if bc := cycle / 4; bc > d.stats.BufferCycles {
@@ -187,6 +209,12 @@ func (d *Device) handleRead(cycle int64, cmd dram.Command, rdata []byte) (bool, 
 	if phys >= d.mmioBase {
 		d.stats.MMIOReads++
 		return false, d.mmioRead(phys, cmd, rdata)
+	}
+	if d.Faults.Fire("core.alert", cycle) {
+		// Spurious device-side ALERT_N: the controller retries under its
+		// backoff schedule and the next attempt proceeds normally.
+		d.stats.Alerts++
+		return true, nil
 	}
 	page := phys / PageSize
 	tr, ok := d.tt.Lookup(page)
@@ -284,6 +312,9 @@ func (d *Device) feedDSA(cycle int64, tr *translation, phys uint64, data []byte)
 	rec := tr.rec
 	if rec == nil || rec.dsa == nil {
 		d.stats.DSAErrors++
+		if rec != nil {
+			d.abortRecord(rec)
+		}
 		return
 	}
 	recOff := tr.pageIndex*PageSize + int(phys%PageSize)
@@ -300,9 +331,19 @@ func (d *Device) feedDSA(cycle int64, tr *translation, phys uint64, data []byte)
 	}
 	rec.processed[clIdx] = true
 	d.stats.DSALinesFed++
+	if d.Faults.Fire("core.dsa", cycle) {
+		// Injected DSA fault: abort the whole record so its buffers fall
+		// back to plain-DIMM behaviour instead of stranding pending lines
+		// that would assert ALERT_N forever. The driver detects the abort
+		// and degrades to the CPU software path.
+		d.stats.DSAErrors++
+		d.abortRecord(rec)
+		return
+	}
 	lines, err := rec.dsa.ProcessSourceLine(recOff, data[:end-recOff])
 	if err != nil {
 		d.stats.DSAErrors++
+		d.abortRecord(rec)
 		return
 	}
 	if t, ok := rec.dsa.(*tlsDSA); ok && t.AuthFailed() {
@@ -377,6 +418,45 @@ func (d *Device) retirePage(tr *translation, sp *spPage) {
 	}
 }
 
+// abortRecord tears down an in-flight offload after a DSA fault or a
+// driver-issued abort op: every translation, Scratchpad page and Config
+// Memory page of the record is freed, so its buffers behave like a plain
+// DIMM again (no stranded pending lines asserting ALERT_N forever).
+func (d *Device) abortRecord(rec *record) {
+	for _, dp := range rec.destPages {
+		if tr, ok := d.tt.Lookup(dp); ok && !tr.isSource && tr.rec == rec {
+			d.sp.release(tr.spIdx)
+			d.tt.Delete(dp)
+		}
+	}
+	for _, sp := range rec.srcPages {
+		if tr, ok := d.tt.Lookup(sp); ok && tr.isSource && tr.rec == rec {
+			d.cm.release(tr.cfgIdx)
+			d.tt.Delete(sp)
+		}
+	}
+	if len(rec.srcPages) > 0 && d.records[rec.srcPages[0]] == rec {
+		delete(d.records, rec.srcPages[0])
+	}
+	if d.reg != nil && d.reg.rec == rec {
+		d.reg = nil
+	}
+	d.stats.RecordAborts++
+}
+
+// abortByPage resolves a record from any of its registered pages and
+// aborts it; unknown pages are a no-op (the record may already have
+// retired or aborted).
+func (d *Device) abortByPage(page uint64) {
+	if rec, ok := d.records[page]; ok {
+		d.abortRecord(rec)
+		return
+	}
+	if tr, ok := d.tt.Lookup(page); ok && tr.rec != nil {
+		d.abortRecord(tr.rec)
+	}
+}
+
 // --- MMIO config space ---------------------------------------------------
 
 // mmioRead serves status (offset 0) and the pending-page list (offsets
@@ -439,6 +519,10 @@ func (d *Device) register(src []byte) error {
 	if binary.LittleEndian.Uint16(src[0:]) != regMagic {
 		return fmt.Errorf("core: bad registration magic")
 	}
+	if src[2] == opAbort {
+		d.abortByPage(binary.LittleEndian.Uint64(src[8:]))
+		return nil
+	}
 	op := Opcode(src[2])
 	ctxLen := int(binary.LittleEndian.Uint16(src[4:]))
 	pageIndex := int(binary.LittleEndian.Uint16(src[6:]))
@@ -483,13 +567,17 @@ func (d *Device) register(src []byte) error {
 
 	cfgIdx := d.cm.alloc(rec)
 	if cfgIdx == -1 {
-		delete(d.records, sbufPage)
+		if pageIndex == 0 {
+			delete(d.records, sbufPage)
+		}
 		return ErrNoScratchpad
 	}
 	spIdx := d.sp.alloc(dbufPage, rec)
 	if spIdx == -1 {
 		d.cm.release(cfgIdx)
-		delete(d.records, sbufPage)
+		if pageIndex == 0 {
+			delete(d.records, sbufPage)
+		}
 		return ErrNoScratchpad
 	}
 	// Lines beyond the record's destination coverage in this page can
@@ -508,13 +596,19 @@ func (d *Device) register(src []byte) error {
 	rec.destPages = append(rec.destPages, dbufPage)
 
 	srcTr := &translation{isSource: true, cfgIdx: cfgIdx, destPage: dbufPage, pageIndex: pageIndex, rec: rec}
+	if d.Faults.Fire("core.ttinsert", int64(d.stats.Registrations)) {
+		d.failRegistration(rec, cfgIdx, spIdx, pageIndex)
+		return fmt.Errorf("core: translation insert (injected): %w", ErrTranslationInsert)
+	}
 	if err := d.tt.Insert(sbufPage, srcTr); err != nil {
-		return fmt.Errorf("core: translation insert: %w", err)
+		d.failRegistration(rec, cfgIdx, spIdx, pageIndex)
+		return fmt.Errorf("core: translation insert (%v): %w", err, ErrTranslationInsert)
 	}
 	dstTr := &translation{spIdx: spIdx, rec: rec}
 	if err := d.tt.Insert(dbufPage, dstTr); err != nil {
 		d.tt.Delete(sbufPage)
-		return fmt.Errorf("core: translation insert: %w", err)
+		d.failRegistration(rec, cfgIdx, spIdx, pageIndex)
+		return fmt.Errorf("core: translation insert (%v): %w", err, ErrTranslationInsert)
 	}
 
 	if pageIndex == 0 {
@@ -524,6 +618,25 @@ func (d *Device) register(src []byte) error {
 		}
 	}
 	return nil
+}
+
+// failRegistration unwinds a page registration that could not complete:
+// its Config Memory and Scratchpad allocations return to the free lists
+// and the record forgets the page, so nothing leaks on the error path.
+// (Earlier pages of a multi-page record stay registered; the driver
+// aborts the whole record when registration fails partway.)
+func (d *Device) failRegistration(rec *record, cfgIdx, spIdx, pageIndex int) {
+	d.cm.release(cfgIdx)
+	d.sp.release(spIdx)
+	rec.srcPages = rec.srcPages[:pageIndex]
+	rec.destPages = rec.destPages[:pageIndex]
+	if pageIndex == 0 && len(rec.srcPages) == 0 {
+		for page, r := range d.records {
+			if r == rec {
+				delete(d.records, page)
+			}
+		}
+	}
 }
 
 // destCoverage returns how many bytes of the destination page at
@@ -553,6 +666,7 @@ func (d *Device) finishRegistration() error {
 	dsa, err := buildDSA(r.rec.op, r.rec.length, d.cm.pages[r.cfgIdx].raw)
 	if err != nil {
 		d.stats.DSAErrors++
+		d.abortRecord(r.rec)
 		return fmt.Errorf("core: DSA build: %w", err)
 	}
 	r.rec.dsa = dsa

@@ -235,10 +235,11 @@ const (
 const MaxCompressInput = PageSize - compHeaderSize
 
 // EncodeCompressedPage formats a compressed (or raw-fallback) page.
-// len(orig) must not exceed MaxCompressInput.
-func EncodeCompressedPage(orig []byte, enc *deflate.HWEncoder) []byte {
+// Inputs longer than MaxCompressInput cannot be framed (no room for the
+// raw fallback) and are rejected with an error.
+func EncodeCompressedPage(orig []byte, enc *deflate.HWEncoder) ([]byte, error) {
 	if len(orig) > MaxCompressInput {
-		panic(fmt.Sprintf("core: compression input %d exceeds %d", len(orig), MaxCompressInput))
+		return nil, fmt.Errorf("core: compression input %d exceeds %d", len(orig), MaxCompressInput)
 	}
 	out := make([]byte, PageSize)
 	stream := enc.Compress(orig)
@@ -249,7 +250,7 @@ func EncodeCompressedPage(orig []byte, enc *deflate.HWEncoder) []byte {
 		binary.LittleEndian.PutUint32(out, compRawFlag|uint32(len(orig)))
 		copy(out[compHeaderSize:], orig)
 	}
-	return out
+	return out, nil
 }
 
 // DecodeCompressedPage reverses EncodeCompressedPage.
@@ -306,7 +307,10 @@ func (d *deflateDSA) ProcessSourceLine(off int, src []byte) ([]destLine, error) 
 	if d.nextOff < d.length {
 		return nil, nil
 	}
-	page := EncodeCompressedPage(d.buf[:d.length], d.enc)
+	page, err := EncodeCompressedPage(d.buf[:d.length], d.enc)
+	if err != nil {
+		return nil, err
+	}
 	return pageToLines(page), nil
 }
 

@@ -13,6 +13,8 @@ package dram
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/fault"
 )
 
 // CachelineSize is the data moved by one CAS command: a BL8 burst on an
@@ -343,6 +345,10 @@ type Module interface {
 // device to the chips.
 type PlainDIMM struct {
 	chips *Chips
+	// Faults, when non-nil, asserts spurious ALERT_N on rdCAS at site
+	// "dram.alert" — the DIMM-side transient (CRC/parity on the command
+	// bus) the controller's retry path exists for.
+	Faults *fault.Injector
 }
 
 // NewPlainDIMM builds a pass-through DIMM over fresh chips.
@@ -370,6 +376,9 @@ func (d *PlainDIMM) HandleCommand(cycle int64, cmd Command, wdata []byte, rdata 
 		d.chips.Precharge(cmd.Rank, cmd.BG, cmd.BA)
 		return false, nil
 	case CmdRd:
+		if d.Faults.Fire("dram.alert", cycle) {
+			return true, nil
+		}
 		return false, d.chips.Read(cmd, rdata)
 	case CmdWr:
 		return false, d.chips.Write(cmd, wdata)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/corun"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/nettcp"
 	"repro/internal/offload"
 	"repro/internal/runner"
@@ -145,6 +146,55 @@ func Fig2(pool *runner.Pool, dropsPct []float64) []Fig2Point {
 			}, nil
 		})
 	out := make([]Fig2Point, 0, 2*len(pairs))
+	for _, pr := range pairs {
+		out = append(out, pr[0], pr[1])
+	}
+	return out
+}
+
+// --- Fig. 2b (bursty loss) --------------------------------------------------
+
+// Fig2bPoint is one (placement, burst intensity) goodput measurement
+// under Gilbert-Elliott bursty loss, link flaps, and mild reordering.
+type Fig2bPoint struct {
+	Placement        string
+	PGoodBadPct      float64 // burst-entry probability, percent per packet
+	Gbps             float64
+	BurstDrops       uint64
+	FlapDrops        uint64
+	Resyncs          uint64
+	FallbackEncrypts uint64
+}
+
+// Fig2b extends Fig. 2 from Bernoulli drops to the loss patterns real
+// networks produce: Gilbert-Elliott bursts (dense loss while the channel
+// is bad), periodic link-flap outages, and mild reordering. Each burst
+// desynchronizes the autonomous SmartNIC engine again, so the NIC
+// placement pays a resync plus a window of software-fallback encryptions
+// per loss event while the CPU placement only retransmits — the same
+// cliff as Fig. 2, but reached at far lower average loss rates.
+func Fig2b(pool *runner.Pool, pGoodBadPct []float64) []Fig2bPoint {
+	p := sim.DefaultParams()
+	const total = 8 << 20
+	pairs, _ := runner.Map(context.Background(), pool, pGoodBadPct,
+		func(_ context.Context, g float64, _ int) ([2]Fig2bPoint, error) {
+			net := nettcp.BurstyNet{
+				Burst:       fault.GEConfig{PGoodBad: g / 100, PBadGood: 0.2, LossBad: 0.8},
+				FlapEveryPs: 50 * sim.Ms, FlapDownPs: 200 * sim.Us,
+				ReorderProb: 0.001, ReorderDelayPs: 300 * sim.Us,
+			}
+			cpu := nettcp.MeasureGoodputBursty(p, nettcp.CPUTLSHook{P: p}, net, total, 11)
+			nic := &nettcp.NICTLSHook{P: p, RecordLen: 16384, FallbackRecords: 16}
+			nicRes := nettcp.MeasureGoodputBursty(p, nic, net, total, 11)
+			return [2]Fig2bPoint{
+				{Placement: "CPU", PGoodBadPct: g, Gbps: cpu.GoodputGbps,
+					BurstDrops: cpu.BurstDrops, FlapDrops: cpu.FlapDrops},
+				{Placement: "SmartNIC", PGoodBadPct: g, Gbps: nicRes.GoodputGbps,
+					BurstDrops: nicRes.BurstDrops, FlapDrops: nicRes.FlapDrops,
+					Resyncs: nicRes.Resyncs, FallbackEncrypts: nicRes.FallbackEncrypts},
+			}, nil
+		})
+	out := make([]Fig2bPoint, 0, 2*len(pairs))
 	for _, pr := range pairs {
 		out = append(out, pr[0], pr[1])
 	}

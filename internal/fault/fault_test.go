@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if in.Fire("anything", int64(i)) {
+			t.Fatal("nil injector fired")
+		}
+	}
+	if tr := in.Trace(); tr != nil {
+		t.Fatalf("nil injector has trace %v", tr)
+	}
+}
+
+func TestOneShotAndPeriodic(t *testing.T) {
+	in := New(1)
+	in.Arm("once", OneShot{N: 3})
+	in.Arm("beat", Periodic{Every: 4})
+	var onceFires, beatFires []int64
+	for i := int64(1); i <= 12; i++ {
+		if in.Fire("once", i) {
+			onceFires = append(onceFires, i)
+		}
+		if in.Fire("beat", i) {
+			beatFires = append(beatFires, i)
+		}
+	}
+	if len(onceFires) != 1 || onceFires[0] != 3 {
+		t.Fatalf("one-shot fired at %v, want [3]", onceFires)
+	}
+	if len(beatFires) != 3 || beatFires[0] != 4 || beatFires[1] != 8 || beatFires[2] != 12 {
+		t.Fatalf("periodic fired at %v, want [4 8 12]", beatFires)
+	}
+}
+
+func TestWindowConfinesFiring(t *testing.T) {
+	in := New(7)
+	in.Arm("w", Window{FromPs: 100, ToPs: 200, Prob: 1})
+	for now := int64(0); now < 300; now += 10 {
+		got := in.Fire("w", now)
+		want := now >= 100 && now < 200
+		if got != want {
+			t.Fatalf("window fire at now=%d: got %v want %v", now, got, want)
+		}
+	}
+}
+
+func TestSameSeedSameTrace(t *testing.T) {
+	run := func() string {
+		in := New(42)
+		in.Arm("a", Bernoulli{Prob: 0.3})
+		in.Arm("b", Burst{GE: GEConfig{PGoodBad: 0.1, PBadGood: 0.4, LossBad: 0.9}})
+		for i := int64(0); i < 500; i++ {
+			in.Fire("a", i)
+			in.Fire("b", i)
+		}
+		return in.TraceString()
+	}
+	a, b := run(), run()
+	if a == "" {
+		t.Fatal("no events fired at all")
+	}
+	if a != b {
+		t.Fatalf("same seed produced different traces:\n%s\n---\n%s", a, b)
+	}
+}
+
+// Per-site streams must be independent of cross-site interleaving: the
+// decisions at site "a" may not change when a second site starts being
+// consulted in between.
+func TestSiteStreamsIndependent(t *testing.T) {
+	solo := New(9)
+	solo.Arm("a", Bernoulli{Prob: 0.5})
+	var soloBits []bool
+	for i := int64(0); i < 200; i++ {
+		soloBits = append(soloBits, solo.Fire("a", i))
+	}
+
+	mixed := New(9)
+	mixed.Arm("a", Bernoulli{Prob: 0.5})
+	mixed.Arm("noise", Bernoulli{Prob: 0.5})
+	for i := int64(0); i < 200; i++ {
+		mixed.Fire("noise", i)
+		if mixed.Fire("a", i) != soloBits[i] {
+			t.Fatalf("site a decision %d changed under interleaving", i)
+		}
+		mixed.Fire("noise", i)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	// A harsh bad state with slow recovery must produce clustered losses:
+	// the number of loss->loss adjacencies should far exceed what the
+	// same loss rate would give independently.
+	ge := NewGilbertElliott(GEConfig{PGoodBad: 0.02, PBadGood: 0.2, LossGood: 0, LossBad: 1}, 3)
+	const n = 20000
+	losses, pairs := 0, 0
+	prev := false
+	for i := 0; i < n; i++ {
+		l := ge.Lose()
+		if l {
+			losses++
+			if prev {
+				pairs++
+			}
+		}
+		prev = l
+	}
+	if losses == 0 {
+		t.Fatal("GE chain never lost")
+	}
+	rate := float64(losses) / n
+	indep := rate * rate * n // expected adjacent pairs if independent
+	if float64(pairs) < 4*indep {
+		t.Fatalf("losses not bursty: %d pairs, independent expectation %.1f (rate %.3f)", pairs, indep, rate)
+	}
+}
+
+func TestCountsAndSites(t *testing.T) {
+	in := New(5)
+	in.Arm("x", OneShot{N: 1})
+	in.Arm("y", Periodic{Every: 2})
+	in.Fire("x", 0)
+	in.Fire("y", 0)
+	in.Fire("y", 0)
+	total, fired := in.Counts()
+	if total != 3 || fired != 2 {
+		t.Fatalf("counts = (%d,%d), want (3,2)", total, fired)
+	}
+	s := in.Sites()
+	if len(s) != 2 || s[0] != "x" || s[1] != "y" {
+		t.Fatalf("sites = %v", s)
+	}
+}

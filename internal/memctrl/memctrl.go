@@ -11,7 +11,8 @@
 //     the DSA finish a cacheline before its result is needed.
 //  2. ALERT_N: when the DIMM (SmartDIMM, S13 in Fig. 6) signals that a
 //     rdCAS hit a cacheline whose computation is pending, the controller
-//     retries the read after a fixed penalty.
+//     retries the read under capped exponential backoff, and surfaces
+//     ErrAlertRetryExhausted once the retry budget is spent.
 //  3. No store-to-load forwarding: a read that matches a queued write
 //     forces a drain instead of forwarding. For SmartDIMM destination
 //     buffers forwarding would return the untransformed copy; draining
@@ -19,11 +20,18 @@
 package memctrl
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/stats"
 )
+
+// ErrAlertRetryExhausted is returned (wrapped, with the address) when a
+// read burns through its whole ALERT_N/CRC retry budget without the DIMM
+// ever answering cleanly. Callers match it with errors.Is.
+var ErrAlertRetryExhausted = errors.New("memctrl: ALERT_N retry budget exhausted")
 
 // Request directions for statistics.
 const (
@@ -39,10 +47,15 @@ type Config struct {
 	// drains when DrainThreshold is reached (high-water-mark policy).
 	WriteQueueDepth int
 	DrainThreshold  int
-	// AlertRetryCycles is the penalty before retrying a rdCAS that was
-	// answered with ALERT_N.
+	// AlertRetryCycles is the backoff base: retry k of a rdCAS answered
+	// with ALERT_N (or failing CRC) waits min(AlertRetryCycles<<k,
+	// AlertBackoffCapCycles) cycles before reissuing.
 	AlertRetryCycles int
-	// MaxAlertRetries bounds retries before giving up with an error.
+	// AlertBackoffCapCycles caps the exponential backoff; 0 defaults to
+	// 8x the base.
+	AlertBackoffCapCycles int
+	// MaxAlertRetries bounds retries before giving up with
+	// ErrAlertRetryExhausted.
 	MaxAlertRetries int
 }
 
@@ -66,6 +79,7 @@ type Stats struct {
 	RowMisses   uint64 // closed bank (ACT only)
 	RowConflict uint64 // wrong row open (PRE+ACT)
 	Alerts      uint64
+	CRCRetries  uint64 // injected write-CRC / read-CRC faults retried
 	Drains      uint64 // write-queue drain events
 	Turnarounds uint64 // bus direction switches
 	BusyCycles  int64  // data-bus occupied cycles
@@ -98,6 +112,10 @@ type Controller struct {
 	Trace *stats.CASTrace
 	// Meter, when non-nil, accounts data-bus bytes for bandwidth stats.
 	Meter *stats.BandwidthMeter
+	// Faults, when non-nil, injects CRC errors at site "memctrl.crc":
+	// a fired consultation makes the rdCAS data transfer fail its CRC
+	// check and retry through the same backoff path as ALERT_N.
+	Faults *fault.Injector
 }
 
 // New builds a controller over the module.
@@ -110,6 +128,9 @@ func New(cfg Config, mod dram.Module) *Controller {
 	}
 	if cfg.AlertRetryCycles <= 0 {
 		cfg.AlertRetryCycles = 100
+	}
+	if cfg.AlertBackoffCapCycles <= 0 {
+		cfg.AlertBackoffCapCycles = cfg.AlertRetryCycles * 8
 	}
 	if cfg.MaxAlertRetries <= 0 {
 		cfg.MaxAlertRetries = 64
@@ -245,6 +266,12 @@ func (c *Controller) Read(addr uint64, core int, dst []byte) (int64, error) {
 			return 0, err
 		}
 		c.recordCAS(at, stats.RdCAS, line, core)
+		if !alert && c.Faults.Fire("memctrl.crc", at) {
+			// Injected CRC failure on the data burst: the line must be
+			// refetched, through the same backoff schedule as ALERT_N.
+			c.st.CRCRetries++
+			alert = true
+		}
 		if !alert {
 			done := at + int64(t.CL) + int64(t.TBL)
 			c.bankDone(cmd, at)
@@ -257,10 +284,26 @@ func (c *Controller) Read(addr uint64, core int, dst []byte) (int64, error) {
 		}
 		c.st.Alerts++
 		if attempt >= c.cfg.MaxAlertRetries {
-			return 0, fmt.Errorf("memctrl: ALERT_N retry limit for %#x", addr)
+			return 0, fmt.Errorf("%w: %#x after %d retries",
+				ErrAlertRetryExhausted, addr, attempt)
 		}
-		at += int64(c.cfg.AlertRetryCycles)
+		at += c.backoffCycles(attempt)
 	}
+}
+
+// backoffCycles returns the wait before retry number attempt (0-based):
+// base<<attempt, capped.
+func (c *Controller) backoffCycles(attempt int) int64 {
+	d := int64(c.cfg.AlertRetryCycles)
+	cap := int64(c.cfg.AlertBackoffCapCycles)
+	if attempt > 62 {
+		return cap
+	}
+	d <<= uint(attempt)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return d
 }
 
 // Write enqueues a 64-byte store. The queue drains at the high-water
@@ -300,19 +343,25 @@ func (c *Controller) DrainWrites() (int64, error) {
 	c.st.Drains++
 	t := c.cfg.Timing
 	var last int64
-	for _, w := range c.wq {
+	for i, w := range c.wq {
+		// On any error, drop the writes already issued plus the failing
+		// one so the queue is not poisoned: a later drain must not
+		// re-issue half the batch or retry a write the DIMM rejected.
 		cmd, err := c.mod.Mapper().Decode(w.addr)
 		if err != nil {
+			c.dropDrained(i)
 			return 0, err
 		}
 		cmd.Kind = dram.CmdWr
 		cmd.Core = w.core
 		at, err := c.prepareBank(cmd)
 		if err != nil {
+			c.dropDrained(i)
 			return 0, err
 		}
 		at = c.reserveBus(at, dirWrite)
 		if _, err := c.mod.HandleCommand(at, cmd, w.data[:], nil); err != nil {
+			c.dropDrained(i)
 			return 0, err
 		}
 		c.recordCAS(at, stats.WrCAS, w.addr, w.core)
@@ -329,6 +378,13 @@ func (c *Controller) DrainWrites() (int64, error) {
 	}
 	c.wq = c.wq[:0]
 	return last, nil
+}
+
+// dropDrained removes queue entries 0..i (issued or failed) after a
+// drain aborts mid-batch, keeping the not-yet-attempted tail.
+func (c *Controller) dropDrained(i int) {
+	n := copy(c.wq, c.wq[i+1:])
+	c.wq = c.wq[:n]
 }
 
 // bankDone updates per-bank availability after a CAS at cycle at.

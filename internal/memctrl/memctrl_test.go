@@ -2,9 +2,12 @@ package memctrl
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/stats"
 )
 
@@ -177,8 +180,37 @@ func TestAlertRetry(t *testing.T) {
 	if c.Stats().Alerts != 3 {
 		t.Fatalf("alerts = %d, want 3", c.Stats().Alerts)
 	}
-	if done < 3*int64(cfg.AlertRetryCycles) {
-		t.Fatalf("retry penalty not applied: done=%d", done)
+	// Backoff doubles per retry: base + 2*base + 4*base before success.
+	if done < 7*int64(cfg.AlertRetryCycles) {
+		t.Fatalf("backoff penalty not applied: done=%d", done)
+	}
+}
+
+// TestAlertBackoffCurve pins the exact retry schedule: gaps between
+// successive rdCAS reissues must double from the base until the cap.
+func TestAlertBackoffCurve(t *testing.T) {
+	d, _ := dram.NewPlainDIMM(dram.SmallGeometry())
+	am := &alertModule{Module: d, alertAddr: 0x40, alertsLeft: 5}
+	cfg := DefaultConfig()
+	cfg.AlertRetryCycles = 10
+	cfg.AlertBackoffCapCycles = 40
+	c := New(cfg, am)
+	tr := &stats.CASTrace{}
+	c.Trace = tr
+
+	if _, err := c.Read(0x40, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 6 { // 5 alerted attempts + success
+		t.Fatalf("CAS reissues = %d, want 6", len(tr.Events))
+	}
+	tck := cfg.Timing.TCKps
+	wantGaps := []int64{10, 20, 40, 40, 40} // base<<k capped at 40
+	for i, want := range wantGaps {
+		gap := (tr.Events[i+1].AtPs - tr.Events[i].AtPs) / tck
+		if gap != want {
+			t.Fatalf("retry %d gap = %d cycles, want %d", i, gap, want)
+		}
 	}
 }
 
@@ -188,8 +220,95 @@ func TestAlertRetryLimit(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxAlertRetries = 4
 	c := New(cfg, am)
-	if _, err := c.Read(0x40, 0, make([]byte, 64)); err == nil {
+	_, err := c.Read(0x40, 0, make([]byte, 64))
+	if err == nil {
 		t.Fatal("endless ALERT_N should error out")
+	}
+	if !errors.Is(err, ErrAlertRetryExhausted) {
+		t.Fatalf("error %v is not ErrAlertRetryExhausted", err)
+	}
+}
+
+// TestCRCInjectionRetries arms the memctrl.crc site: one injected CRC
+// failure must retry transparently and still return correct data.
+func TestCRCInjectionRetries(t *testing.T) {
+	d, _ := dram.NewPlainDIMM(dram.SmallGeometry())
+	c := New(DefaultConfig(), d)
+	inj := fault.New(11)
+	inj.Arm("memctrl.crc", fault.OneShot{N: 1})
+	c.Faults = inj
+
+	want := bytes.Repeat([]byte{0xC3}, 64)
+	if _, err := c.Write(0x80, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if _, err := c.Read(0x80, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data corrupted across CRC retry")
+	}
+	st := c.Stats()
+	if st.CRCRetries != 1 || st.Alerts != 1 {
+		t.Fatalf("CRC retry accounting: %+v", st)
+	}
+}
+
+// TestDramAlertInjection arms the dram.alert site on a plain DIMM: the
+// controller must absorb the spurious ALERT_N and complete the read.
+func TestDramAlertInjection(t *testing.T) {
+	d, _ := dram.NewPlainDIMM(dram.SmallGeometry())
+	inj := fault.New(12)
+	inj.Arm("dram.alert", fault.OneShot{N: 1})
+	d.Faults = inj
+	c := New(DefaultConfig(), d)
+	if _, err := c.Read(0, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Alerts != 1 {
+		t.Fatalf("alerts = %d, want 1 injected", c.Stats().Alerts)
+	}
+}
+
+// errWriteModule fails the wrCAS of one marked address.
+type errWriteModule struct {
+	dram.Module
+	badAddr uint64
+}
+
+func (m *errWriteModule) HandleCommand(cycle int64, cmd dram.Command, wdata, rdata []byte) (bool, error) {
+	if cmd.Kind == dram.CmdWr {
+		phys := m.Module.Mapper().Encode(cmd.Rank, cmd.BG, cmd.BA, cmd.Row, cmd.Col)
+		if phys == m.badAddr {
+			return false, fmt.Errorf("injected wrCAS failure at %#x", phys)
+		}
+	}
+	return m.Module.HandleCommand(cycle, cmd, wdata, rdata)
+}
+
+// TestDrainAbortKeepsQueueConsistent: a mid-batch write failure must not
+// poison the queue — issued and failed entries leave, the tail stays and
+// drains cleanly afterwards.
+func TestDrainAbortKeepsQueueConsistent(t *testing.T) {
+	d, _ := dram.NewPlainDIMM(dram.SmallGeometry())
+	m := &errWriteModule{Module: d, badAddr: 0x40}
+	c := New(DefaultConfig(), m)
+	buf := bytes.Repeat([]byte{9}, 64)
+	c.Write(0x00, 0, buf)
+	c.Write(0x40, 0, buf) // will fail
+	c.Write(0x80, 0, buf)
+	if _, err := c.DrainWrites(); err == nil {
+		t.Fatal("drain should surface the wrCAS failure")
+	}
+	if c.PendingWrites() != 1 {
+		t.Fatalf("pending after aborted drain = %d, want 1 (unattempted tail)", c.PendingWrites())
+	}
+	if _, err := c.DrainWrites(); err != nil {
+		t.Fatalf("tail drain failed: %v", err)
+	}
+	if c.Stats().Writes != 2 {
+		t.Fatalf("writes = %d, want 2 issued", c.Stats().Writes)
 	}
 }
 

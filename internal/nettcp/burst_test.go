@@ -1,0 +1,135 @@
+package nettcp
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// testBurst is a moderately hostile Gilbert-Elliott channel: rare
+// transitions into a bad state that eats most packets while it lasts.
+func testBurst() fault.GEConfig {
+	return fault.GEConfig{PGoodBad: 0.002, PBadGood: 0.2, LossBad: 0.8}
+}
+
+// TestBurstyLossWithReorderNIC drives the SmartNIC hook through
+// combined bursty loss and reordering: every loss-triggered retransmit
+// desynchronizes the inline engine, and the records in flight during
+// each resync window fall back to software encryption. The transfer
+// must still complete, with the degradation visible in the counters.
+func TestBurstyLossWithReorderNIC(t *testing.T) {
+	nic := &NICTLSHook{P: sim.DefaultParams(), RecordLen: 16384, FallbackRecords: 16}
+	res := MeasureGoodputBursty(sim.DefaultParams(), nic, BurstyNet{
+		Burst:       testBurst(),
+		ReorderProb: 0.005, ReorderDelayPs: 300 * sim.Us,
+	}, 4<<20, 21)
+	if !res.Completed {
+		t.Fatal("transfer incomplete under bursty loss + reorder")
+	}
+	if res.BurstDrops == 0 {
+		t.Fatal("GE chain produced no burst drops")
+	}
+	if res.Reordered == 0 {
+		t.Fatal("no reordered packets at p=0.005")
+	}
+	if res.Resyncs == 0 {
+		t.Fatal("burst losses produced no NIC resyncs")
+	}
+	if res.FallbackEncrypts < res.Resyncs {
+		t.Fatalf("FallbackEncrypts=%d < Resyncs=%d: resync windows unaccounted",
+			res.FallbackEncrypts, res.Resyncs)
+	}
+	if res.GoodputGbps <= 0 {
+		t.Fatal("no goodput measured")
+	}
+}
+
+// TestBurstyLossNICVsCPU reproduces the Fig. 2b relationship: under
+// bursty loss the CPU sender only pays retransmission bandwidth, while
+// the NIC sender pays a resync per loss event — so the NIC transfer
+// cannot be faster, and it degrades through software fallback rather
+// than failing.
+func TestBurstyLossNICVsCPU(t *testing.T) {
+	net := BurstyNet{Burst: testBurst()}
+	p := sim.DefaultParams()
+
+	nic := &NICTLSHook{P: p, RecordLen: 16384, FallbackRecords: 16}
+	nicRes := MeasureGoodputBursty(p, nic, net, 4<<20, 33)
+	cpuRes := MeasureGoodputBursty(p, CPUTLSHook{P: p}, net, 4<<20, 33)
+
+	if !nicRes.Completed || !cpuRes.Completed {
+		t.Fatalf("incomplete: nic=%v cpu=%v", nicRes.Completed, cpuRes.Completed)
+	}
+	// Same seed, same channel: both senders face the same loss process
+	// (modulo send-time differences), so burst drops appear in both.
+	if nicRes.BurstDrops == 0 || cpuRes.BurstDrops == 0 {
+		t.Fatalf("burst drops: nic=%d cpu=%d", nicRes.BurstDrops, cpuRes.BurstDrops)
+	}
+	if cpuRes.FallbackEncrypts != 0 || cpuRes.Resyncs != 0 {
+		t.Fatal("CPU hook reported NIC-only counters")
+	}
+	if nicRes.GoodputGbps > cpuRes.GoodputGbps*1.05 {
+		t.Fatalf("NIC (%.2fGbps) beat CPU (%.2fGbps) under bursty loss",
+			nicRes.GoodputGbps, cpuRes.GoodputGbps)
+	}
+}
+
+// TestFlapWindowRecovery sends through a link with deterministic down
+// windows: the sender must ride out each outage via RTO and finish.
+func TestFlapWindowRecovery(t *testing.T) {
+	res := MeasureGoodputBursty(sim.DefaultParams(), CPUTLSHook{P: sim.DefaultParams()}, BurstyNet{
+		FlapEveryPs: 20 * sim.Ms, FlapDownPs: 500 * sim.Us,
+	}, 4<<20, 17)
+	if !res.Completed {
+		t.Fatal("transfer incomplete across flap windows")
+	}
+	if res.FlapDrops == 0 {
+		t.Fatal("no packets hit a down window")
+	}
+	if res.Timeouts == 0 && res.Retransmits == 0 {
+		t.Fatal("outages recovered without any retransmission")
+	}
+}
+
+// TestBurstyMeasurementDeterministic: same seed, same trace, same
+// result — the reproducibility contract of the Fig. 2b experiment.
+func TestBurstyMeasurementDeterministic(t *testing.T) {
+	run := func() GoodputResult {
+		nic := &NICTLSHook{P: sim.DefaultParams(), RecordLen: 16384}
+		return MeasureGoodputBursty(sim.DefaultParams(), nic, BurstyNet{
+			Burst:       testBurst(),
+			ReorderProb: 0.005, ReorderDelayPs: 300 * sim.Us,
+		}, 2<<20, 77)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestResyncWindowFallbackBounded checks the resync-window model
+// directly: one retransmission forces exactly FallbackRecords+1
+// software encryptions (the retransmitted record plus the window).
+func TestResyncWindowFallbackBounded(t *testing.T) {
+	p := sim.DefaultParams()
+	h := &NICTLSHook{P: p, RecordLen: 16384, FallbackRecords: 8}
+	if c := h.RecordCost(16384); c != p.NICCryptoSetupNs*sim.Ns {
+		t.Fatalf("in-sync record cost = %d", c)
+	}
+	h.RetransmitCost(1460)
+	for i := 0; i < 8; i++ {
+		if c := h.RecordCost(16384); c != p.AESGCMComputePs(16384) {
+			t.Fatalf("record %d inside window not software-encrypted (cost %d)", i, c)
+		}
+	}
+	if c := h.RecordCost(16384); c != p.NICCryptoSetupNs*sim.Ns {
+		t.Fatalf("record after window still degraded (cost %d)", c)
+	}
+	if h.FallbackEncrypts != 9 { // 1 retransmitted + 8 window records
+		t.Fatalf("FallbackEncrypts = %d, want 9", h.FallbackEncrypts)
+	}
+	if h.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d, want 1", h.Resyncs)
+	}
+}

@@ -62,7 +62,11 @@ type NICTLSHook struct {
 	// software while one resync completes.
 	FallbackRecords int
 	Resyncs         uint64
-	fallbackLeft    int
+	// FallbackEncrypts counts records encrypted in software inside
+	// resync windows — the graceful-degradation cost the offload pays
+	// under loss (each resync forces up to FallbackRecords of them).
+	FallbackEncrypts uint64
+	fallbackLeft     int
 }
 
 // RecordCost implements ULPHook.
@@ -71,6 +75,7 @@ func (h *NICTLSHook) RecordCost(n int) int64 {
 		// Out of sync: this record is encrypted on the CPU, serially on
 		// this flow's thread.
 		h.fallbackLeft--
+		h.FallbackEncrypts++
 		return h.P.AESGCMComputePs(n)
 	}
 	return h.P.NICCryptoSetupNs * sim.Ns
@@ -79,6 +84,7 @@ func (h *NICTLSHook) RecordCost(n int) int64 {
 // RetransmitCost implements ULPHook.
 func (h *NICTLSHook) RetransmitCost(int) int64 {
 	h.Resyncs++
+	h.FallbackEncrypts++ // the retransmitted record itself
 	fb := h.FallbackRecords
 	if fb <= 0 {
 		fb = 64

@@ -1,0 +1,139 @@
+package offload
+
+// The circuit breaker demotes a persistently failing accelerator
+// placement to CPU processing — the coarse-grained rung of the
+// degradation ladder. Per-chunk fallbacks (SmartDIMM.fallbackChunk)
+// handle transient faults; the breaker handles a backend that keeps
+// failing, where paying the failed-attempt latency on every request
+// would be worse than simply serving from the CPU until the device
+// recovers.
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+// Breaker wraps a primary Backend with a circuit breaker over a CPU
+// (or any compatible) fallback. State machine:
+//
+//	closed    — requests go to the primary; Threshold consecutive
+//	            failures open the breaker.
+//	open      — requests short-circuit to the fallback for Cooldown
+//	            requests (no failed-attempt latency).
+//	half-open — after the cooldown, one probe request tries the
+//	            primary: success closes the breaker, failure re-opens.
+//
+// Both backends must allocate address-compatible connections; the
+// breaker delegates NewConn to the primary so either path can process
+// any connection. Counters land in Stats (stats.Degradation).
+type Breaker struct {
+	Primary  Backend
+	Fallback Backend
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 3).
+	Threshold int
+	// Cooldown is how many short-circuited requests pass before a
+	// half-open probe (default 32).
+	Cooldown int
+	// Faults + FaultSite, when set, force primary failures at the named
+	// injection site — how tests and the chaos soak model a misbehaving
+	// SmartNIC/QAT device that the backend model itself cannot produce.
+	Faults    *fault.Injector
+	FaultSite string
+
+	Stats stats.Degradation
+
+	consecFails int
+	open        bool
+	sinceOpen   int
+}
+
+// NewBreaker wraps primary with a CPU fallback and default thresholds.
+func NewBreaker(primary, fallback Backend) *Breaker {
+	return &Breaker{Primary: primary, Fallback: fallback, Threshold: 3, Cooldown: 32}
+}
+
+// Name implements Backend.
+func (b *Breaker) Name() string { return b.Primary.Name() + "+breaker" }
+
+// Supports implements Backend: the breaker offers exactly what its
+// primary placement offers (demotion is a failure response, not a
+// capability extension).
+func (b *Breaker) Supports(u ULP) bool { return b.Primary.Supports(u) }
+
+// InlineSource implements Backend.
+func (b *Breaker) InlineSource() bool { return b.Primary.InlineSource() }
+
+// NewConn implements Backend.
+func (b *Breaker) NewConn(u ULP, id, msgSize int) (*Conn, error) {
+	return b.Primary.NewConn(u, id, msgSize)
+}
+
+// Open reports whether the breaker is currently open (primary demoted).
+func (b *Breaker) Open() bool { return b.open }
+
+// Process implements Backend.
+func (b *Breaker) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
+	threshold := b.Threshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	cooldown := b.Cooldown
+	if cooldown <= 0 {
+		cooldown = 32
+	}
+
+	if b.open {
+		b.sinceOpen++
+		if b.sinceOpen <= cooldown {
+			b.Stats.ShortCircuits++
+			return b.fallback(u, coreID, conn, payloadLen)
+		}
+		// Half-open: fall through and probe the primary once.
+	}
+
+	res, err := b.tryPrimary(u, coreID, conn, payloadLen)
+	if err == nil {
+		if b.open {
+			b.open = false
+			b.Stats.Closes++
+		}
+		b.consecFails = 0
+		b.Stats.PrimaryOps++
+		return res, nil
+	}
+
+	if b.open {
+		// Failed half-open probe: stay open, restart the cooldown.
+		b.sinceOpen = 0
+	} else {
+		b.consecFails++
+		if b.consecFails >= threshold {
+			b.open = true
+			b.sinceOpen = 0
+			b.Stats.Opens++
+		}
+	}
+	return b.fallback(u, coreID, conn, payloadLen)
+}
+
+// tryPrimary runs the primary backend, folding in injected faults.
+func (b *Breaker) tryPrimary(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
+	if b.Faults.Fire(b.FaultSite, int64(b.Stats.PrimaryOps+b.Stats.FallbackOps)) {
+		b.Stats.InjectedFaults++
+		return Result{}, fmt.Errorf("offload: injected %s failure at %q", b.Primary.Name(), b.FaultSite)
+	}
+	return b.Primary.Process(u, coreID, conn, payloadLen)
+}
+
+// fallback serves the request from the fallback backend.
+func (b *Breaker) fallback(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
+	res, err := b.Fallback.Process(u, coreID, conn, payloadLen)
+	if err != nil {
+		return res, fmt.Errorf("offload: fallback %s also failed: %w", b.Fallback.Name(), err)
+	}
+	b.Stats.FallbackOps++
+	return res, nil
+}

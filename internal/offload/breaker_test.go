@@ -1,0 +1,133 @@
+package offload
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func breakerPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*31 + 7)
+	}
+	return p
+}
+
+// A transient NIC failure window must open the breaker after Threshold
+// consecutive failures, serve the cooldown from the CPU fallback, then
+// restore the primary on a successful half-open probe.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	sys := newSys(t, 1<<20, false)
+	primary := &SmartNIC{Sys: sys}
+	fallback := &CPU{Sys: sys, Functional: true}
+	br := NewBreaker(primary, fallback)
+	br.Cooldown = 4
+
+	inj := fault.New(7)
+	// The breaker consults the injector with now = ops completed, so a
+	// [0,3) window fails exactly the first three requests.
+	inj.Arm("offload.nic", fault.Window{FromPs: 0, ToPs: 3, Prob: 1})
+	br.Faults = inj
+	br.FaultSite = "offload.nic"
+
+	payload := breakerPayload(4000)
+	conn, err := br.NewConn(TLS, 1, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		stage(t, sys, conn, payload)
+		if _, err := br.Process(TLS, 0, conn, len(payload)); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	s := &br.Stats
+	if s.InjectedFaults != 3 {
+		t.Errorf("InjectedFaults = %d, want 3", s.InjectedFaults)
+	}
+	if s.Opens != 1 || s.Closes != 1 {
+		t.Errorf("Opens/Closes = %d/%d, want 1/1", s.Opens, s.Closes)
+	}
+	// Requests 0-2 fail over, 3-6 short-circuit, 7 probes and closes,
+	// 8-11 run on the restored primary.
+	if s.FallbackOps != 7 || s.PrimaryOps != 5 {
+		t.Errorf("FallbackOps/PrimaryOps = %d/%d, want 7/5", s.FallbackOps, s.PrimaryOps)
+	}
+	if s.ShortCircuits != 4 {
+		t.Errorf("ShortCircuits = %d, want 4", s.ShortCircuits)
+	}
+	if br.Open() {
+		t.Error("breaker still open after successful probe")
+	}
+	if rate := s.FallbackRate(); rate <= 0.5 || rate >= 0.65 {
+		t.Errorf("FallbackRate = %.3f, want 7/12", rate)
+	}
+}
+
+// A primary that never recovers must keep the breaker open: every
+// half-open probe fails, cooldowns restart, and all requests are served
+// by the fallback without surfacing an error.
+func TestBreakerStaysOpenWhilePrimaryDown(t *testing.T) {
+	sys := newSys(t, 1<<20, false)
+	primary := &SmartNIC{Sys: sys}
+	fallback := &CPU{Sys: sys, Functional: true}
+	br := NewBreaker(primary, fallback)
+	br.Threshold = 2
+	br.Cooldown = 2
+
+	inj := fault.New(11)
+	inj.Arm("offload.nic", fault.Bernoulli{Prob: 1})
+	br.Faults = inj
+	br.FaultSite = "offload.nic"
+
+	payload := breakerPayload(2500)
+	conn, err := br.NewConn(TLS, 2, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		stage(t, sys, conn, payload)
+		if _, err := br.Process(TLS, 0, conn, len(payload)); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	s := &br.Stats
+	if !br.Open() {
+		t.Error("breaker closed while primary is permanently down")
+	}
+	if s.PrimaryOps != 0 || s.Closes != 0 {
+		t.Errorf("PrimaryOps/Closes = %d/%d, want 0/0", s.PrimaryOps, s.Closes)
+	}
+	if s.FallbackOps != 10 {
+		t.Errorf("FallbackOps = %d, want 10", s.FallbackOps)
+	}
+	// Requests 0-1 open the breaker, then cooldowns of 2 alternate with
+	// failed probes: 2,3 SC, 4 probe, 5,6 SC, 7 probe, 8,9 SC.
+	if s.InjectedFaults != 4 {
+		t.Errorf("InjectedFaults = %d, want 4", s.InjectedFaults)
+	}
+	if s.ShortCircuits != 6 {
+		t.Errorf("ShortCircuits = %d, want 6", s.ShortCircuits)
+	}
+	if s.Opens != 1 {
+		t.Errorf("Opens = %d, want 1 (re-opens after failed probes are not new transitions)", s.Opens)
+	}
+}
+
+// The breaker advertises exactly its primary's capabilities.
+func TestBreakerDelegatesCapabilities(t *testing.T) {
+	sys := newSys(t, 1<<20, false)
+	br := NewBreaker(&SmartNIC{Sys: sys}, &CPU{Sys: sys})
+	if br.Supports(Compression) {
+		t.Error("breaker over SmartNIC must not claim compression support")
+	}
+	if !br.Supports(TLS) {
+		t.Error("breaker over SmartNIC must support TLS")
+	}
+	if br.Name() != "SmartNIC+breaker" {
+		t.Errorf("Name = %q", br.Name())
+	}
+}

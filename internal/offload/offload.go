@@ -14,13 +14,29 @@
 package offload
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/aesgcm"
 	"repro/internal/core"
 	"repro/internal/deflate"
+	"repro/internal/memctrl"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
+
+// degradable reports whether a CompCpy failure is one the software
+// stack recovers from by processing the chunk on the CPU instead:
+// scratchpad exhaustion that Force-Recycle could not relieve, a
+// translation-table insert failure, a DSA fault that aborted the
+// record, or an ALERT_N retry budget burned by injected DRAM faults.
+// Anything else (misuse, broken invariants) still propagates.
+func degradable(err error) bool {
+	return errors.Is(err, core.ErrNoScratchpad) ||
+		errors.Is(err, core.ErrTranslationInsert) ||
+		errors.Is(err, core.ErrDSAFault) ||
+		errors.Is(err, memctrl.ErrAlertRetryExhausted)
+}
 
 // ULP selects the upper-layer protocol being offloaded.
 type ULP int
@@ -599,8 +615,16 @@ func (b *QAT) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, er
 // are allocated from the device's offload range; the only CPU costs are
 // the copy CompCpy performs anyway, the source flush, registration MMIO
 // writes, and the destination flush before TX.
+//
+// When CompCpy fails with a degradable error (scratchpad exhaustion,
+// translation-table insert failure, DSA fault, ALERT_N budget), the
+// affected chunk is processed by the CPU software path into the same
+// destination buffer — the degradation ladder's last rung — and counted
+// in Degraded.
 type SmartDIMM struct {
 	Sys *sim.System
+	// Degraded counts chunks served by CompCpy vs the CPU fallback.
+	Degraded stats.Degradation
 }
 
 // Name implements Backend.
@@ -672,10 +696,22 @@ func (b *SmartDIMM) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Resu
 			ordered = true
 		}
 		lat, err := drv.CompCpy(coreID, dbuf, sbuf, size, ctx, ordered)
-		if err != nil {
+		switch {
+		case err == nil:
+			res.CPUPs += lat
+			b.Degraded.PrimaryOps++
+		case degradable(err):
+			// Degradation ladder: CompCpy already tried Force-Recycle;
+			// process this chunk on the CPU into the same destination.
+			flat, ferr := b.fallbackChunk(u, coreID, ctx, sbuf, dbuf, n)
+			if ferr != nil {
+				return res, fmt.Errorf("offload: CPU fallback after %v: %w", err, ferr)
+			}
+			res.CPUPs += flat
+			b.Degraded.FallbackOps++
+		default:
 			return res, err
 		}
-		res.CPUPs += lat
 		if u == Compression {
 			// Wire bytes: the compressed payload length from the page
 			// header. Flush just that line so the DMA peek observes the
@@ -700,6 +736,44 @@ func (b *SmartDIMM) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Resu
 	}
 	res.DstFlushNeeded = true
 	return res, nil
+}
+
+// fallbackChunk runs one chunk of a failed offload on the CPU software
+// path, writing the same wire format the DSA would have produced into
+// the destination buffer. Returns the CPU time charged.
+func (b *SmartDIMM) fallbackChunk(u ULP, coreID int, ctx *core.OffloadContext, sbuf, dbuf uint64, n int) (int64, error) {
+	p := b.Sys.Params
+	data, lat, err := b.Sys.ReadBytes(coreID, sbuf, n)
+	if err != nil {
+		return 0, err
+	}
+	var out []byte
+	switch u {
+	case TLS:
+		g, err := aesgcm.NewGCM(ctx.TLS.Key)
+		if err != nil {
+			return 0, err
+		}
+		// Same IV and AAD the DSA was registered with, so the peer
+		// decrypts the record identically.
+		out, err = g.Seal(nil, ctx.TLS.IV, data, ctx.TLS.AAD)
+		if err != nil {
+			return 0, err
+		}
+		lat += p.AESGCMComputePs(n)
+	case Compression:
+		page, err := core.EncodeCompressedPage(data, deflate.NewHWEncoder(deflate.PaperHWConfig()))
+		if err != nil {
+			return 0, err
+		}
+		out = page
+		lat += p.DeflateComputePs(n)
+	}
+	wlat, err := b.Sys.WriteBytes(coreID, dbuf, out)
+	if err != nil {
+		return 0, err
+	}
+	return lat + wlat, nil
 }
 
 // --- Adaptive backend -----------------------------------------------------

@@ -116,9 +116,31 @@ func (b *SmartDIMM) ReceiveTLS(coreID int, conn *Conn, payloadLens []int) (RXRes
 		}
 		lat, err := drv.CompCpy(coreID, dbuf, sbuf, n+core.TagSize, ctx, false)
 		if err != nil {
-			return res, err
+			if !degradable(err) {
+				return res, err
+			}
+			// CPU fallback: decrypt the staged record with AES-NI.
+			sealed, rlat, rerr := b.Sys.ReadBytes(coreID, sbuf, n+core.TagSize)
+			if rerr != nil {
+				return res, rerr
+			}
+			pt, oerr := g.Open(nil, iv, sealed, tlsAAD(n))
+			if oerr != nil {
+				res.AuthOK = false
+				pt = make([]byte, n)
+			}
+			wlat, werr := b.Sys.WriteBytes(coreID, dbuf, pt)
+			if werr != nil {
+				return res, werr
+			}
+			res.CPUPs += rlat + wlat + b.Sys.Params.AESGCMComputePs(n)
+			res.Payload = append(res.Payload, pt...)
+			res.Records++
+			b.Degraded.FallbackOps++
+			continue
 		}
 		res.CPUPs += lat
+		b.Degraded.PrimaryOps++
 		// USE: flush and read the plaintext plus the verification byte.
 		out, lat, err := drv.Use(coreID, dbuf, n+core.TagSize)
 		if err != nil {
@@ -177,9 +199,33 @@ func (b *SmartDIMM) ReceiveCompressed(coreID int, conn *Conn, pageLens []int) (R
 		ctx := &core.OffloadContext{Op: core.OpDecompress, Length: core.PageSize}
 		lat, err := drv.CompCpy(coreID, dbuf, sbuf, core.PageSize, ctx, true)
 		if err != nil {
-			return res, err
+			if !degradable(err) {
+				return res, err
+			}
+			// CPU fallback: inflate the staged page in software. Output
+			// is padded to the page size to match the Inflate DSA.
+			page, rlat, rerr := b.Sys.ReadBytes(coreID, sbuf, core.PageSize)
+			if rerr != nil {
+				return res, rerr
+			}
+			orig, derr := core.DecodeCompressedPage(page)
+			if derr != nil {
+				return res, fmt.Errorf("offload: RX fallback page %d: %w", k, derr)
+			}
+			padded := make([]byte, core.PageSize)
+			copy(padded, orig)
+			wlat, werr := b.Sys.WriteBytes(coreID, dbuf, padded)
+			if werr != nil {
+				return res, werr
+			}
+			res.CPUPs += rlat + wlat + b.Sys.Params.InflateComputePs(len(orig))
+			res.Payload = append(res.Payload, padded...)
+			res.Records++
+			b.Degraded.FallbackOps++
+			continue
 		}
 		res.CPUPs += lat
+		b.Degraded.PrimaryOps++
 		out, lat, err := drv.Use(coreID, dbuf, core.PageSize)
 		if err != nil {
 			return res, err

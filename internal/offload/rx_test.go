@@ -123,7 +123,10 @@ func TestRXCompressedBothBackends(t *testing.T) {
 		if n > core.MaxCompressInput {
 			n = core.MaxCompressInput
 		}
-		page := core.EncodeCompressedPage(rest[:n], enc)
+		page, err := core.EncodeCompressedPage(rest[:n], enc)
+		if err != nil {
+			t.Fatal(err)
+		}
 		plen, _ := core.CompressedPayloadLen(page)
 		records = append(records, page[:4+plen])
 		lens = append(lens, 4+plen)

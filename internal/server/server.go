@@ -82,6 +82,10 @@ type Metrics struct {
 	TXBytes      uint64
 	MeanLatPs    int64
 	DeviceBusyPs int64
+	// Errors counts requests abandoned on processing errors since the
+	// server started (not windowed by BeginMeasurement: a fault during
+	// warmup still matters to a robustness run).
+	Errors uint64
 }
 
 // Server is the Nginx model; it implements wrkgen.Target.
@@ -106,6 +110,8 @@ type Server struct {
 	requests     uint64
 	txBytes      uint64
 	latSumPs     int64
+	errors       uint64
+	lastErr      error
 }
 
 type pendingReq struct {
@@ -233,15 +239,32 @@ func (s *Server) queueCtx(rc *reqCtx) {
 	s.queue = append(s.queue, pendingReq{connID: rc.req.connID, done: rc.req.done, at: rc.req.at, ctx: rc})
 }
 
+// failReq abandons a request after a processing error: the worker is
+// released, the request completes with no response bytes, and the error
+// is accounted — the model's analogue of the server answering 5xx and
+// moving on instead of crashing the process. Panics remain only for
+// programmer errors (impossible states), not for memory-system or
+// backend failures.
+func (s *Server) failReq(rc *reqCtx, err error) {
+	s.errors++
+	s.lastErr = fmt.Errorf("server: request on conn %d: %w", rc.conn.id, err)
+	now := s.eng.Now()
+	s.eng.At(now, func() {
+		s.idleWorkers++
+		s.dispatch()
+	})
+	s.eng.At(now, rc.req.done)
+}
+
+// LastError returns the most recent request-processing error, if any.
+func (s *Server) LastError() error { return s.lastErr }
+
 // runStage executes one pipeline stage synchronously against the memory
 // system and schedules the next.
 func (s *Server) runStage(rc *reqCtx) {
 	c := rc.conn
 	p := s.cfg.Sys.Params
 	coreID := workerCore(rc.req.connID)
-	fail := func(err error) {
-		panic(fmt.Sprintf("server: request on conn %d: %v", c.id, err))
-	}
 	inline := s.cfg.Mode != PlainHTTP && s.cfg.Backend.InlineSource()
 
 	switch rc.stage {
@@ -252,10 +275,12 @@ func (s *Server) runStage(rc *reqCtx) {
 			device = int64(p.StorageReadUsPer4KB * float64(sim.Us) * float64((s.cfg.MsgSize+4095)/4096))
 			if inline {
 				if err := offload.StagePayloadDMA(s.cfg.Sys, c.oconn, c.payload); err != nil {
-					fail(err)
+					s.failReq(rc, err)
+					return
 				}
 			} else if err := s.cfg.Sys.DMAIn(c.filePage, c.payload); err != nil {
-				fail(err)
+				s.failReq(rc, err)
+				return
 			}
 		}
 		if s.cfg.Mode == PlainHTTP {
@@ -268,11 +293,13 @@ func (s *Server) runStage(rc *reqCtx) {
 		if !inline {
 			_, rdLat, err := s.cfg.Sys.ReadBytes(coreID, c.filePage, s.cfg.MsgSize)
 			if err != nil {
-				fail(err)
+				s.failReq(rc, err)
+				return
 			}
 			stageLat, err := offload.StagePayloadCPU(s.cfg.Sys, coreID, c.oconn, c.payload)
 			if err != nil {
-				fail(err)
+				s.failReq(rc, err)
+				return
 			}
 			cpu = rdLat + stageLat
 		}
@@ -286,7 +313,8 @@ func (s *Server) runStage(rc *reqCtx) {
 		}
 		res, err := s.cfg.Backend.Process(s.cfg.Mode.ulp(), coreID, c.oconn, s.cfg.MsgSize)
 		if err != nil {
-			fail(err)
+			s.failReq(rc, err)
+			return
 		}
 		rc.spans = res.DstSpans
 		rc.txBytes = res.TXBytes
@@ -311,7 +339,8 @@ func (s *Server) transmit(rc *reqCtx, base uint64, txBytes int, spans []offload.
 		for _, sp := range spans {
 			l, err := s.cfg.Sys.Hier.Flush(base+uint64(sp.Off), sp.Len)
 			if err != nil {
-				panic(fmt.Sprintf("server: dst flush: %v", err))
+				s.failReq(rc, fmt.Errorf("dst flush: %w", err))
+				return
 			}
 			cpuFlush += l
 		}
@@ -320,7 +349,8 @@ func (s *Server) transmit(rc *reqCtx, base uint64, txBytes int, spans []offload.
 	for _, sp := range spans {
 		_, l, err := s.cfg.Sys.DMAOut(base+uint64(sp.Off), sp.Len)
 		if err != nil {
-			panic(fmt.Sprintf("server: TX DMA: %v", err))
+			s.failReq(rc, fmt.Errorf("TX DMA: %w", err))
+			return
 		}
 		dmaLat += l
 	}
@@ -373,6 +403,7 @@ func (s *Server) Collect() Metrics {
 		DeviceBusyPs: s.deviceBusyPs,
 		MemBytes:     s.cfg.Sys.MemoryBytesMoved() - s.memBase,
 		TXBytes:      s.txBytes,
+		Errors:       s.errors,
 	}
 	if elapsed > 0 {
 		m.RPS = float64(s.requests) / (float64(elapsed) * 1e-12)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/memctrl"
 	"repro/internal/memsys"
 	"repro/internal/stats"
@@ -31,6 +32,11 @@ type SystemConfig struct {
 	ExtraChannels int
 	// TraceCAS attaches a CAS trace to channel 0 (Fig. 9).
 	TraceCAS int // max events; 0 disables
+	// Faults, when non-nil, arms fault injection across channel 0: the
+	// SmartDIMM device sites (core.alert / core.dsa / core.ttinsert) or
+	// the plain DIMM site (dram.alert), and the controller's memctrl.crc
+	// site. Nil keeps every layer on its fast, fault-free path.
+	Faults *fault.Injector
 }
 
 // System is the assembled host model shared by the offload backends and
@@ -84,8 +90,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			return nil, err
 		}
 		sys.Dev = dev
+		dev.Faults = cfg.Faults
 		ctl := memctrl.New(memctrl.DefaultConfig(), dev)
 		ctl.Meter = meter
+		ctl.Faults = cfg.Faults
 		if cfg.TraceCAS > 0 {
 			sys.Trace = &stats.CASTrace{Limit: cfg.TraceCAS}
 			ctl.Trace = sys.Trace
@@ -96,8 +104,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		d.Faults = cfg.Faults
 		ctl := memctrl.New(memctrl.DefaultConfig(), d)
 		ctl.Meter = meter
+		ctl.Faults = cfg.Faults
 		if cfg.TraceCAS > 0 {
 			sys.Trace = &stats.CASTrace{Limit: cfg.TraceCAS}
 			ctl.Trace = sys.Trace
@@ -121,6 +131,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	devCap := cfg.Geometry.CapacityBytes()
 	if cfg.WithSmartDIMM {
 		sys.Driver = core.NewDriver(hier, 0, devCap, 1)
+		dev := sys.Dev
+		sys.Driver.AbortProbe = func() uint64 { return dev.Stats().RecordAborts }
 		// Plain buffers (page cache, connection buffers: the OS using
 		// SmartDIMM capacity as regular memory, Benefit B2) share the
 		// device range with offload buffers: offloads take the lower

@@ -31,6 +31,34 @@ func (c *Counter) Value() uint64 { return c.n }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n = 0 }
 
+// Degradation counts graceful-degradation events on an offload path:
+// operations served by the primary placement, operations demoted to the
+// fallback (CPU) path, and circuit-breaker transitions. A zero value is
+// ready to use.
+type Degradation struct {
+	PrimaryOps    uint64 // served by the primary backend
+	FallbackOps   uint64 // demoted to the fallback path
+	ShortCircuits uint64 // routed straight to fallback while the breaker was open
+	Opens         uint64 // breaker open transitions (primary demoted)
+	Closes        uint64 // breaker close transitions (primary restored)
+	InjectedFaults uint64 // failures forced by fault injection
+}
+
+// FallbackRate returns the fraction of operations that degraded.
+func (d *Degradation) FallbackRate() float64 {
+	total := d.PrimaryOps + d.FallbackOps
+	if total == 0 {
+		return 0
+	}
+	return float64(d.FallbackOps) / float64(total)
+}
+
+// String renders the counters compactly for logs and figure footers.
+func (d *Degradation) String() string {
+	return fmt.Sprintf("primary=%d fallback=%d shortcircuit=%d opens=%d closes=%d injected=%d",
+		d.PrimaryOps, d.FallbackOps, d.ShortCircuits, d.Opens, d.Closes, d.InjectedFaults)
+}
+
 // Gauge is a sampled instantaneous value that tracks its running
 // maximum, minimum and mean.
 type Gauge struct {

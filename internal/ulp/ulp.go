@@ -166,7 +166,12 @@ func CompressBody(body []byte, enc *deflate.HWEncoder) []byte {
 		}
 		var page []byte
 		if enc != nil {
-			full := core.EncodeCompressedPage(body[:n], enc)
+			// n is capped at MaxCompressInput above, so encoding cannot
+			// fail; a failure here is a programmer error.
+			full, err := core.EncodeCompressedPage(body[:n], enc)
+			if err != nil {
+				panic(err)
+			}
 			plen, _ := core.CompressedPayloadLen(full)
 			page = full[:4+plen]
 		} else {
