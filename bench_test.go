@@ -11,6 +11,7 @@ package repro
 // against the paper's numbers.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/aesgcm"
@@ -146,6 +147,34 @@ func BenchmarkFig12_CompressionOffload16KB(b *testing.B) {
 			b.Fatal(err)
 		}
 		reportPerf(b, pts, 16384)
+	}
+}
+
+// BenchmarkFigScale_FleetScaling reports the multi-device fleet headline
+// numbers (DESIGN.md §11): aggregate RPS as the rank count grows under
+// uniform load, and the rr-vs-leastload p99 gap under Zipf skew.
+func BenchmarkFigScale_FleetScaling(b *testing.B) {
+	sc := experiments.Scale{
+		Connections: 48, Workers: 24,
+		WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms,
+		LLCBytes: 256 << 10, LLCWays: 8,
+	}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.FigScale(benchPool(), sc, []int{1, 4}, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byKey := map[string]experiments.ScalePoint{}
+		for _, p := range pts {
+			byKey[fmt.Sprintf("%s/%s/%d", p.Load, p.Policy, p.Devices)] = p
+		}
+		b.ReportMetric(byKey["uniform/rr/1"].RPS, "uniform-rr-rps@1dev")
+		b.ReportMetric(byKey["uniform/rr/4"].RPS, "uniform-rr-rps@4dev")
+		if base := byKey["uniform/rr/1"].RPS; base > 0 {
+			b.ReportMetric(byKey["uniform/rr/4"].RPS/base, "uniform-rr-speedup@4dev")
+		}
+		b.ReportMetric(byKey["zipf/rr/4"].P99Us, "zipf-rr-p99us@4dev")
+		b.ReportMetric(byKey["zipf/leastload/4"].P99Us, "zipf-leastload-p99us@4dev")
 	}
 }
 

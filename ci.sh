@@ -10,8 +10,9 @@
 #                     fault schedules against the cross-layer invariants,
 #                     cheap enough to fail fast before the long stages
 #   4. race tests   — the concurrency-bearing packages (the runner pool,
-#                     the event kernel, and the offload/nettcp layers the
-#                     server model drives from pool workers) under -race
+#                     the event kernel, the offload/nettcp layers the
+#                     server model drives from pool workers, and the
+#                     fleet dispatcher's determinism gate) under -race
 #   5. go test      — the full suite with a shuffled test order: the
 #                     serial-vs-parallel sweep determinism gate plus the
 #                     full 200-schedule chaos soak, and -shuffle guards
@@ -28,8 +29,8 @@ go build ./...
 echo "== go test -short ./internal/chaos/"
 go test -short ./internal/chaos/
 
-echo "== go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/"
-go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/
+echo "== go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/ ./internal/fleet/"
+go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/ ./internal/fleet/
 
 echo "== go test -shuffle=on ./..."
 go test -shuffle=on ./...

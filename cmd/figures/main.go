@@ -7,6 +7,7 @@
 //	figures               # all experiments at quick scale
 //	figures -fig 11       # one figure
 //	figures -fig 2b       # bursty-loss variant of Fig. 2 (not in "all")
+//	figures -fig scale    # fleet scaling, 1-8 SmartDIMM ranks (not in "all")
 //	figures -table 1      # Table I
 //	figures -power        # §VII-D power/area model
 //	figures -scale paper  # testbed-scale workloads (slower)
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13); empty = all (2b excluded)")
+	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale); empty = all (2b and scale excluded)")
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
@@ -53,11 +54,14 @@ func main() {
 	if run(2) {
 		fig2(pool)
 	}
-	// Fig. 2b is a robustness extension beyond the paper's figure set; it
-	// runs only when asked for, keeping the default output identical to
-	// the paper's figures.
+	// Fig. 2b and the fleet scaling experiment are extensions beyond the
+	// paper's figure set; they run only when asked for, keeping the
+	// default output identical to the paper's figures.
 	if *fig == "2b" {
 		fig2b(pool)
+	}
+	if *fig == "scale" {
+		figScale(pool)
 	}
 	if run(3) {
 		fig3(pool, sc)
@@ -111,6 +115,18 @@ func fig2b(pool *runner.Pool) {
 			p.PGoodBadPct, p.Placement, p.Gbps, p.BurstDrops, p.FlapDrops,
 			p.Resyncs, p.FallbackEncrypts)
 	}
+	fmt.Println()
+}
+
+func figScale(pool *runner.Pool) {
+	fmt.Println("=== Fleet scaling: compressed-HTTP RPS and p99 vs SmartDIMM device count ===")
+	fmt.Println("model: 1-8 ranks behind one fleet backend; uniform and Zipf-skewed closed-loop load;")
+	fmt.Println("       round-robin vs least-loaded at every count, affinity/sticky at the largest")
+	pts, err := experiments.FigScale(pool, experiments.FleetScale(), []int{1, 2, 4, 8}, 16384)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(experiments.RenderScale(pts))
 	fmt.Println()
 }
 

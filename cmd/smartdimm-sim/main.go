@@ -6,12 +6,20 @@
 // the values is swept, with independent runs fanned across -parallel
 // workers (results always print in sweep order).
 //
+// Multi-device fleets: -devices N (default 1) installs N SmartDIMM
+// ranks and shards connections across them through internal/fleet. The
+// -placement flag accepts the fleet placement policies directly —
+// rr (round-robin), leastload, affinity, sticky — and plain "smartdimm"
+// with -devices above 1 defaults to the rr policy. Non-SmartDIMM
+// placements reject -devices above 1.
+//
 // Examples:
 //
 //	smartdimm-sim -placement smartdimm -ulp tls -msg 16384 -conns 512
 //	smartdimm-sim -placement cpu -ulp compression -msg 4096 -corpus html
 //	smartdimm-sim -placement adaptive -llc 4194304 -measure-ms 50
 //	smartdimm-sim -placement smartdimm -msg 1024,4096,16384 -conns 64,256
+//	smartdimm-sim -placement leastload -devices 4 -ulp compression -conns 128
 package main
 
 import (
@@ -24,10 +32,12 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/dram"
+	"repro/internal/fleet"
 	"repro/internal/offload"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/wrkgen"
 )
 
 // cliConfig carries the flag values shared by every run of the sweep.
@@ -35,6 +45,7 @@ type cliConfig struct {
 	placement string
 	ulpName   string
 	workers   int
+	devices   int
 	llc       int
 	ways      int
 	kind      corpus.Kind
@@ -44,7 +55,9 @@ type cliConfig struct {
 }
 
 func main() {
-	placement := flag.String("placement", "smartdimm", "cpu | smartnic | qat | smartdimm | adaptive")
+	placement := flag.String("placement", "smartdimm",
+		"cpu | smartnic | qat | smartdimm | adaptive, or a fleet policy rr | leastload | affinity | sticky (default policy with -devices > 1: rr)")
+	devices := flag.Int("devices", 1, "SmartDIMM ranks; above 1, connections shard across a fleet (see -placement)")
 	ulpName := flag.String("ulp", "tls", "tls | compression | none (plain HTTP)")
 	msgList := flag.String("msg", "4096", "message (response body) sizes in bytes, comma-separated")
 	connList := flag.String("conns", "256", "persistent connection counts, comma-separated")
@@ -71,9 +84,12 @@ func main() {
 		fatal(err)
 	}
 
+	if *devices < 1 {
+		fatal(fmt.Errorf("-devices %d: need at least one rank", *devices))
+	}
 	cfg := cliConfig{
 		placement: strings.ToLower(*placement), ulpName: strings.ToLower(*ulpName),
-		workers: *workers, llc: *llc, ways: *ways, kind: kind,
+		workers: *workers, devices: *devices, llc: *llc, ways: *ways, kind: kind,
 		warmupMs: *warmupMs, measureMs: *measureMs, seed: *seed,
 	}
 
@@ -108,27 +124,52 @@ func main() {
 // runOne builds a fresh system, runs one closed-loop measurement, and
 // returns the formatted report.
 func runOne(cfg cliConfig, msg, conns int) (string, error) {
-	withDIMM := cfg.placement == "smartdimm" || cfg.placement == "adaptive"
+	// A fleet policy name as the placement, or -devices above 1 with the
+	// plain smartdimm placement (defaulting to round-robin), selects the
+	// multi-device fleet backend.
+	pol, polErr := fleet.ParsePolicy(cfg.placement)
+	isFleet := polErr == nil
+	if cfg.devices > 1 && !isFleet {
+		if cfg.placement != "smartdimm" {
+			return "", fmt.Errorf("-devices %d: placement %q is single-device; use smartdimm or a fleet policy (rr, leastload, affinity, sticky)",
+				cfg.devices, cfg.placement)
+		}
+		isFleet, pol = true, fleet.RoundRobin
+	}
+
+	withDIMM := cfg.placement == "smartdimm" || cfg.placement == "adaptive" || isFleet
+	ranks := 0
+	if isFleet {
+		ranks = cfg.devices
+	}
 	sys, err := sim.NewSystem(sim.SystemConfig{
 		Params: sim.DefaultParams(), LLCBytes: cfg.llc, LLCWays: cfg.ways,
-		Geometry:      dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
-		WithSmartDIMM: withDIMM,
+		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
+		WithSmartDIMM:  withDIMM,
+		SmartDIMMRanks: ranks,
 	})
 	if err != nil {
 		return "", err
 	}
 
 	var backend offload.Backend
-	switch cfg.placement {
-	case "cpu":
+	var fl *fleet.Fleet
+	switch {
+	case isFleet:
+		fl, err = fleet.New(fleet.Config{Sys: sys, Policy: pol})
+		if err != nil {
+			return "", err
+		}
+		backend = fl
+	case cfg.placement == "cpu":
 		backend = &offload.CPU{Sys: sys}
-	case "smartnic":
+	case cfg.placement == "smartnic":
 		backend = &offload.SmartNIC{Sys: sys}
-	case "qat":
+	case cfg.placement == "qat":
 		backend = &offload.QAT{Sys: sys}
-	case "smartdimm":
+	case cfg.placement == "smartdimm":
 		backend = &offload.SmartDIMM{Sys: sys}
-	case "adaptive":
+	case cfg.placement == "adaptive":
 		backend = &offload.Adaptive{Sys: sys,
 			CPUBackend: &offload.CPU{Sys: sys}, DIMM: &offload.SmartDIMM{Sys: sys}}
 	default:
@@ -147,12 +188,35 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 		return "", fmt.Errorf("unknown ulp %q", cfg.ulpName)
 	}
 
-	m, err := server.RunClosedLoop(server.Config{
+	scfg := server.Config{
 		Sys: sys, Backend: backend, Mode: mode, Workers: cfg.workers,
 		MsgSize: msg, Connections: conns, FileKind: cfg.kind, Seed: cfg.seed,
-	}, int64(cfg.warmupMs)*sim.Ms, int64(cfg.measureMs)*sim.Ms)
-	if err != nil {
-		return "", err
+	}
+	warmup, measure := int64(cfg.warmupMs)*sim.Ms, int64(cfg.measureMs)*sim.Ms
+	var m server.Metrics
+	if isFleet {
+		// The fleet's queue-occupancy model shares the system's simulated
+		// clock, so fleet runs must drive the system engine directly
+		// (RunClosedLoop builds a private engine the fleet can't see).
+		srv, err := server.New(sys.Engine, scfg)
+		if err != nil {
+			return "", err
+		}
+		gen := wrkgen.New(sys.Engine, srv, wrkgen.Config{
+			Connections: conns,
+			ThinkPs:     int64(sys.Params.RTTUs * float64(sim.Us)),
+		})
+		gen.Start()
+		sys.Engine.RunUntil(warmup)
+		srv.BeginMeasurement()
+		gen.BeginMeasurement()
+		sys.Engine.RunUntil(warmup + measure)
+		m = srv.Collect()
+	} else {
+		m, err = server.RunClosedLoop(scfg, warmup, measure)
+		if err != nil {
+			return "", err
+		}
 	}
 
 	var b strings.Builder
@@ -164,6 +228,13 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 	fmt.Fprintf(&b, "memory BW:   %.3f GB/s (%d bytes)\n", m.MemBWGBps, m.MemBytes)
 	fmt.Fprintf(&b, "TX:          %d bytes (%.2fx body)\n", m.TXBytes, float64(m.TXBytes)/float64(m.Requests*uint64(msg)))
 	fmt.Fprintf(&b, "mean latency: %.1f us\n", float64(m.MeanLatPs)/float64(sim.Us))
+	if fl != nil {
+		t := fl.Totals()
+		fmt.Fprintf(&b, "fleet:       %d devices (%s), %d active; %d batches / %d descriptors\n",
+			t.Devices, pol, t.Active, t.Batches, t.Descriptors)
+		fmt.Fprintf(&b, "placement:   %d migrations (%d sheds), %d trips / %d readmits, %d soft ops, fallback rate %.4f\n",
+			t.Migrations, t.Sheds, t.Trips, t.Readmits, t.SoftOps, t.Degraded.FallbackRate())
+	}
 	if withDIMM && sys.Dev != nil {
 		st := sys.Dev.Stats()
 		fmt.Fprintf(&b, "smartdimm:   %d registrations, %d DSA lines, %d self-recycles, %d S7, %d S10, %d ALERT_N\n",

@@ -90,3 +90,83 @@ func TestChaosNoInjectionBaseline(t *testing.T) {
 		t.Fatalf("violations on a single-op scenario: %v", rep.Violations)
 	}
 }
+
+// TestFleetChaosSoak runs randomized fault schedules through a 3-rank
+// fleet with forced member failures mid-stream, and fails on the first
+// cross-fleet invariant violation. The fleet scenario is heavier than
+// the single-device one, so it runs half as many schedules — still
+// covering every placement policy many times over.
+func TestFleetChaosSoak(t *testing.T) {
+	n := soakSize() / 2
+	var fired int64
+	var primary, fallback, trips, readmits, migrations uint64
+	tolerated := 0
+	for i := 0; i < n; i++ {
+		seed := int64(5000 + i*6007)
+		rep, err := RunFleet(seed, 16)
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		if len(rep.Violations) > 0 {
+			t.Fatalf("seed %d (policy %s): %d invariant violations:\n%s\nplacement:\n%s",
+				seed, rep.Policy, len(rep.Violations), rep.Violations[0], rep.Placement)
+		}
+		fired += rep.Fired
+		primary += rep.PrimaryOps
+		fallback += rep.FallbackOps
+		trips += rep.Trips
+		readmits += rep.Readmits
+		migrations += rep.Migrations
+		tolerated += rep.Tolerated
+	}
+	// The soak must exercise the failure machinery, not just clean paths:
+	// members trip and readmit, connections migrate between ranks, and
+	// chunks take both the DSA path and the fallback rung.
+	if fired == 0 {
+		t.Fatal("no faults fired across the fleet soak")
+	}
+	if trips == 0 {
+		t.Fatal("no member breaker ever tripped")
+	}
+	if readmits == 0 {
+		t.Fatal("no tripped member was ever readmitted")
+	}
+	if migrations == 0 {
+		t.Fatal("no connection ever migrated between ranks")
+	}
+	if primary == 0 || fallback == 0 {
+		t.Fatalf("degradation ladder not exercised: %d primary / %d fallback chunks", primary, fallback)
+	}
+	t.Logf("fleet soak: %d schedules, %d faults fired, %d trips / %d readmits / %d migrations, %d primary / %d fallback chunks, %d tolerated failures",
+		n, fired, trips, readmits, migrations, primary, fallback, tolerated)
+}
+
+// TestFleetChaosSameSeedSameTrace replays fleet schedules and requires
+// both the fault trace and the placement trace to reproduce
+// byte-for-byte, along with the whole report.
+func TestFleetChaosSameSeedSameTrace(t *testing.T) {
+	for _, seed := range []int64{42, 4242, 424242} {
+		a, err := RunFleet(seed, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunFleet(seed, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Trace != b.Trace {
+			t.Fatalf("seed %d: fault trace not reproducible", seed)
+		}
+		if a.Placement != b.Placement {
+			t.Fatalf("seed %d: placement trace not reproducible:\n--- first\n%s\n--- second\n%s",
+				seed, a.Placement, b.Placement)
+		}
+		if a.Fired != b.Fired || a.Consults != b.Consults ||
+			a.PrimaryOps != b.PrimaryOps || a.FallbackOps != b.FallbackOps ||
+			a.Trips != b.Trips || a.Readmits != b.Readmits ||
+			a.Migrations != b.Migrations || a.SoftOps != b.SoftOps ||
+			a.Tolerated != b.Tolerated || len(a.Violations) != len(b.Violations) {
+			t.Fatalf("seed %d: reports diverge: %+v vs %+v", seed, a, b)
+		}
+	}
+}

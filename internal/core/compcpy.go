@@ -93,6 +93,15 @@ func NewDriver(host Host, base uint64, devCapacity uint64, mmioPages int) *Drive
 // Stats returns a copy of the driver statistics.
 func (d *Driver) Stats() DriverStats { return d.stats }
 
+// OutstandingPages returns the pages currently allocated to offload
+// buffers (allocated minus freed). The fleet's cross-device conservation
+// invariant sums this over every rank's driver.
+func (d *Driver) OutstandingPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.stats.PagesAllocated - d.stats.PagesFreed)
+}
+
 // SetAllocRange narrows the page allocator to [start, end) so the
 // driver can share the device's address range with other users (e.g.
 // the OS using SmartDIMM capacity as regular memory, Benefit B2).
@@ -295,6 +304,29 @@ func (d *Driver) abortOffload(sbuf uint64) {
 	hdr[2] = opAbort
 	binary.LittleEndian.PutUint64(hdr[8:], d.localPage(sbuf))
 	d.host.MMIOWrite(d.MMIOBase, hdr[:]) // best effort; errors are moot here
+}
+
+// AbortBuffer tears down any in-flight record registered on the n-page
+// buffer at addr (a global address within this driver's range). The
+// fleet calls it before freeing a migrating connection's buffers: a
+// record stranded by a failed operation must not keep Scratchpad,
+// Config Memory or Translation Table entries alive past the buffer's
+// lifetime. Pages with no registered record are no-ops on the device.
+func (d *Driver) AbortBuffer(addr uint64, n int) {
+	var hdr [dram.CachelineSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:], regMagic)
+	hdr[2] = opAbort
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(hdr[8:], d.localPage(addr)+uint64(i))
+		// A stranded record silently corrupts later buffer reuse, so
+		// unlike the single-shot abort on the CompCpy error path this
+		// one retries through transient channel faults.
+		for try := 0; try < 4; try++ {
+			if _, err := d.host.MMIOWrite(d.MMIOBase, hdr[:]); err == nil {
+				break
+			}
+		}
+	}
 }
 
 // membarPs is the modelled cost of the store fence inserted between

@@ -165,6 +165,13 @@ func (c *Controller) AdvanceTo(cycle int64) {
 // PendingWrites returns the current write-queue depth.
 func (c *Controller) PendingWrites() int { return len(c.wq) }
 
+// WriteQueuePressure returns the write-pending-queue occupancy as a
+// fraction of its capacity, a cheap congestion signal the fleet's
+// least-loaded placement policy folds into its per-device score.
+func (c *Controller) WriteQueuePressure() float64 {
+	return float64(len(c.wq)) / float64(c.cfg.WriteQueueDepth)
+}
+
 // prepareBank issues PRE/ACT as needed and returns the cycle at which a
 // CAS to (cmd) may issue, updating bank state.
 func (c *Controller) prepareBank(cmd dram.Command) (int64, error) {

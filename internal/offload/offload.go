@@ -623,9 +623,30 @@ func (b *QAT) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, er
 // in Degraded.
 type SmartDIMM struct {
 	Sys *sim.System
+	// Driver selects which rank's buffer device serves this backend; nil
+	// uses the system's rank-0 driver (the single-device configuration).
+	// internal/fleet builds one SmartDIMM per rank over the same system.
+	Driver *core.Driver
+	// Soft forces every chunk onto the CPU software rung without touching
+	// the device — the processing path of a connection whose home device
+	// failed and could not be re-homed (fleet drain with no survivors).
+	Soft bool
 	// Degraded counts chunks served by CompCpy vs the CPU fallback.
 	Degraded stats.Degradation
 }
+
+// drv returns the backing driver: the explicitly bound rank, or the
+// system's rank-0 driver.
+func (b *SmartDIMM) drv() *core.Driver {
+	if b.Driver != nil {
+		return b.Driver
+	}
+	return b.Sys.Driver
+}
+
+// errSoftRung marks a chunk deliberately routed to the CPU rung by Soft
+// mode; it is degradable by construction.
+var errSoftRung = fmt.Errorf("offload: soft mode: %w", core.ErrNoScratchpad)
 
 // Name implements Backend.
 func (b *SmartDIMM) Name() string { return "SmartDIMM" }
@@ -639,16 +660,17 @@ func (b *SmartDIMM) InlineSource() bool { return true }
 
 // NewConn implements Backend: buffers come from the SmartDIMM driver.
 func (b *SmartDIMM) NewConn(u ULP, id, msgSize int) (*Conn, error) {
-	if b.Sys.Driver == nil {
+	drv := b.drv()
+	if drv == nil {
 		return nil, fmt.Errorf("offload: system has no SmartDIMM")
 	}
 	size := LayoutFor(u).BufBytes(msgSize)
 	pages := (size + core.PageSize - 1) / core.PageSize
-	src, err := b.Sys.Driver.AllocPages(pages)
+	src, err := drv.AllocPages(pages)
 	if err != nil {
 		return nil, err
 	}
-	dst, err := b.Sys.Driver.AllocPages(pages)
+	dst, err := drv.AllocPages(pages)
 	if err != nil {
 		return nil, err
 	}
@@ -660,7 +682,7 @@ func (b *SmartDIMM) NewConn(u ULP, id, msgSize int) (*Conn, error) {
 // Process implements Backend.
 func (b *SmartDIMM) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Result, error) {
 	var res Result
-	drv := b.Sys.Driver
+	drv := b.drv()
 	l := LayoutFor(u)
 	for k, n := range l.Chunks(payloadLen) {
 		sbuf := conn.Src + uint64(k*l.SrcStride)
@@ -695,7 +717,11 @@ func (b *SmartDIMM) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Resu
 			size = core.PageSize
 			ordered = true
 		}
-		lat, err := drv.CompCpy(coreID, dbuf, sbuf, size, ctx, ordered)
+		var lat int64
+		err := errSoftRung
+		if !b.Soft {
+			lat, err = drv.CompCpy(coreID, dbuf, sbuf, size, ctx, ordered)
+		}
 		switch {
 		case err == nil:
 			res.CPUPs += lat

@@ -92,7 +92,7 @@ func (b *CPU) ReceiveTLS(coreID int, conn *Conn, payloadLens []int) (RXResult, e
 // first byte carries the verification verdict (§V-A decrypt path).
 func (b *SmartDIMM) ReceiveTLS(coreID int, conn *Conn, payloadLens []int) (RXResult, error) {
 	res := RXResult{AuthOK: true}
-	drv := b.Sys.Driver
+	drv := b.drv()
 	l := LayoutFor(TLS)
 	for k, n := range payloadLens {
 		sbuf := conn.Src + uint64(k*l.SrcStride)
@@ -114,7 +114,11 @@ func (b *SmartDIMM) ReceiveTLS(coreID int, conn *Conn, payloadLens []int) (RXRes
 			},
 			Length: n,
 		}
-		lat, err := drv.CompCpy(coreID, dbuf, sbuf, n+core.TagSize, ctx, false)
+		lat := int64(0)
+		err = errSoftRung
+		if !b.Soft {
+			lat, err = drv.CompCpy(coreID, dbuf, sbuf, n+core.TagSize, ctx, false)
+		}
 		if err != nil {
 			if !degradable(err) {
 				return res, err
@@ -191,13 +195,17 @@ func (b *CPU) ReceiveCompressed(coreID int, conn *Conn, pageLens []int) (RXResul
 // ReceiveCompressed inflates staged pages through the Inflate DSA.
 func (b *SmartDIMM) ReceiveCompressed(coreID int, conn *Conn, pageLens []int) (RXResult, error) {
 	res := RXResult{AuthOK: true}
-	drv := b.Sys.Driver
+	drv := b.drv()
 	l := LayoutFor(Compression)
 	for k := range pageLens {
 		sbuf := conn.Src + uint64(k*l.SrcStride)
 		dbuf := conn.Dst + uint64(k*l.DstStride)
 		ctx := &core.OffloadContext{Op: core.OpDecompress, Length: core.PageSize}
-		lat, err := drv.CompCpy(coreID, dbuf, sbuf, core.PageSize, ctx, true)
+		var lat int64
+		err := errSoftRung
+		if !b.Soft {
+			lat, err = drv.CompCpy(coreID, dbuf, sbuf, core.PageSize, ctx, true)
+		}
 		if err != nil {
 			if !degradable(err) {
 				return res, err

@@ -25,6 +25,14 @@ type SystemConfig struct {
 	Geometry dram.Geometry
 	// WithSmartDIMM installs a SmartDIMM as channel 0.
 	WithSmartDIMM bool
+	// SmartDIMMRanks installs this many SmartDIMM buffer devices, one
+	// per channel starting at channel 0 — the paper's target platform
+	// exposes every rank's buffer device as an independent accelerator.
+	// Zero with WithSmartDIMM set means one rank (the single-device
+	// configuration every paper figure uses). Values above one split
+	// each device's range between offload buffers (lower half) and
+	// regular memory (upper half), exactly like the single-rank layout.
+	SmartDIMMRanks int
 	// DeviceConfig overrides the SmartDIMM configuration; zero selects
 	// PaperDeviceConfig.
 	DeviceConfig *core.DeviceConfig
@@ -45,16 +53,31 @@ type System struct {
 	Params  Params
 	Engine  *Engine
 	Hier    *memsys.Hierarchy
-	Dev     *core.Device // nil without SmartDIMM
-	Driver  *core.Driver // nil without SmartDIMM
+	Dev     *core.Device // nil without SmartDIMM; rank 0 with several
+	Driver  *core.Driver // nil without SmartDIMM; rank 0 with several
 	Trace   *stats.CASTrace
 	BWMeter *stats.BandwidthMeter
 
-	// allocator for plain (non-SmartDIMM) buffer space: the region of
-	// channel 0 (or channel 1 when SmartDIMM owns channel 0) used for
-	// page-cache and connection buffers.
-	nextPlain uint64
-	plainEnd  uint64
+	// Devs/Drivers list every SmartDIMM rank in channel order; with a
+	// single rank they alias Dev/Driver. Meters holds the per-channel
+	// bandwidth meters in the same order (channel 0 first), so fleet
+	// totals can be aggregated per device. Ctls holds the matching
+	// memory controllers (write-queue pressure feeds placement scores).
+	Devs    []*core.Device
+	Drivers []*core.Driver
+	Meters  []*stats.BandwidthMeter
+	Ctls    []*memctrl.Controller
+
+	// allocator for plain (non-SmartDIMM) buffer space: one or more
+	// page-granular regions (the upper half of each SmartDIMM rank, or
+	// the plain channels) used for page-cache and connection buffers.
+	plainRegions []plainRegion
+}
+
+// plainRegion is one contiguous range the plain bump allocator draws
+// from; regions are consumed in order.
+type plainRegion struct {
+	next, end uint64
 }
 
 // NewSystem builds the host.
@@ -74,31 +97,53 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 
+	ranks := cfg.SmartDIMMRanks
+	if ranks == 0 && cfg.WithSmartDIMM {
+		ranks = 1
+	}
+	if ranks < 0 {
+		return nil, fmt.Errorf("sim: %d SmartDIMM ranks", ranks)
+	}
+
 	sys := &System{Params: cfg.Params, Engine: NewEngine()}
 	var chans []memsys.Channel
 
 	meter := &stats.BandwidthMeter{PeakBytesPerSec: 25.6e9} // DDR4-3200 x1
 	sys.BWMeter = meter
 
-	if cfg.WithSmartDIMM {
+	if ranks > 0 {
 		dc := core.PaperDeviceConfig(cfg.Geometry)
 		if cfg.DeviceConfig != nil {
 			dc = *cfg.DeviceConfig
 		}
-		dev, err := core.NewDevice(dc)
-		if err != nil {
-			return nil, err
+		for r := 0; r < ranks; r++ {
+			dev, err := core.NewDevice(dc)
+			if err != nil {
+				return nil, err
+			}
+			dev.Faults = cfg.Faults
+			ctl := memctrl.New(memctrl.DefaultConfig(), dev)
+			ctl.Faults = cfg.Faults
+			// Every rank's channel gets its own bandwidth meter so fleet
+			// totals can be reported per device; channel 0 keeps the
+			// shared BWMeter so single-rank behaviour is unchanged.
+			m := meter
+			if r > 0 {
+				m = &stats.BandwidthMeter{PeakBytesPerSec: 25.6e9}
+			}
+			ctl.Meter = m
+			sys.Meters = append(sys.Meters, m)
+			sys.Ctls = append(sys.Ctls, ctl)
+			if r == 0 {
+				sys.Dev = dev
+				if cfg.TraceCAS > 0 {
+					sys.Trace = &stats.CASTrace{Limit: cfg.TraceCAS}
+					ctl.Trace = sys.Trace
+				}
+			}
+			sys.Devs = append(sys.Devs, dev)
+			chans = append(chans, memsys.Channel{Ctl: ctl, Mod: dev})
 		}
-		sys.Dev = dev
-		dev.Faults = cfg.Faults
-		ctl := memctrl.New(memctrl.DefaultConfig(), dev)
-		ctl.Meter = meter
-		ctl.Faults = cfg.Faults
-		if cfg.TraceCAS > 0 {
-			sys.Trace = &stats.CASTrace{Limit: cfg.TraceCAS}
-			ctl.Trace = sys.Trace
-		}
-		chans = append(chans, memsys.Channel{Ctl: ctl, Mod: dev})
 	} else {
 		d, err := dram.NewPlainDIMM(cfg.Geometry)
 		if err != nil {
@@ -108,6 +153,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		ctl := memctrl.New(memctrl.DefaultConfig(), d)
 		ctl.Meter = meter
 		ctl.Faults = cfg.Faults
+		sys.Meters = append(sys.Meters, meter)
+		sys.Ctls = append(sys.Ctls, ctl)
 		if cfg.TraceCAS > 0 {
 			sys.Trace = &stats.CASTrace{Limit: cfg.TraceCAS}
 			ctl.Trace = sys.Trace
@@ -129,40 +176,57 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	sys.Hier = hier
 
 	devCap := cfg.Geometry.CapacityBytes()
-	if cfg.WithSmartDIMM {
-		sys.Driver = core.NewDriver(hier, 0, devCap, 1)
-		dev := sys.Dev
-		sys.Driver.AbortProbe = func() uint64 { return dev.Stats().RecordAborts }
+	for r := 0; r < ranks; r++ {
+		base := uint64(r) * devCap
+		drv := core.NewDriver(hier, base, devCap, 1)
+		dev := sys.Devs[r]
+		drv.AbortProbe = func() uint64 { return dev.Stats().RecordAborts }
+		sys.Drivers = append(sys.Drivers, drv)
 		// Plain buffers (page cache, connection buffers: the OS using
-		// SmartDIMM capacity as regular memory, Benefit B2) share the
+		// SmartDIMM capacity as regular memory, Benefit B2) share each
 		// device range with offload buffers: offloads take the lower
 		// half, plain memory the upper half below the MMIO page. With
-		// extra channels, plain memory moves entirely off the SmartDIMM.
-		if cfg.ExtraChannels > 0 {
-			sys.nextPlain = devCap
-			sys.plainEnd = uint64(1+cfg.ExtraChannels) * devCap
+		// extra channels and a single rank, plain memory moves entirely
+		// off the SmartDIMM (the layout every paper figure uses).
+		if ranks == 1 && cfg.ExtraChannels > 0 {
+			sys.plainRegions = append(sys.plainRegions,
+				plainRegion{next: devCap, end: uint64(1+cfg.ExtraChannels) * devCap})
 		} else {
-			sys.Driver.SetAllocRange(0, devCap/2)
-			sys.nextPlain = devCap / 2
-			sys.plainEnd = devCap - dram.PageSize
+			drv.SetAllocRange(base, base+devCap/2)
+			sys.plainRegions = append(sys.plainRegions,
+				plainRegion{next: base + devCap/2, end: base + devCap - dram.PageSize})
 		}
-	} else {
-		sys.nextPlain = 0
-		sys.plainEnd = uint64(1+cfg.ExtraChannels) * devCap
+	}
+	if ranks == 0 {
+		sys.plainRegions = append(sys.plainRegions,
+			plainRegion{next: 0, end: uint64(1+cfg.ExtraChannels) * devCap})
+	} else if ranks > 1 && cfg.ExtraChannels > 0 {
+		// Extra plain channels extend the plain pool behind the ranks.
+		sys.plainRegions = append(sys.plainRegions,
+			plainRegion{next: uint64(ranks) * devCap, end: uint64(ranks+cfg.ExtraChannels) * devCap})
+	}
+	if ranks > 0 {
+		sys.Driver = sys.Drivers[0]
 	}
 	return sys, nil
 }
 
 // AllocPlain reserves n bytes (page-aligned) of regular memory for page
-// cache and connection buffers.
+// cache and connection buffers. Regions are consumed in order, so with a
+// single region the addresses are identical to the historical bump
+// allocator; multi-rank systems fall through to the next rank's upper
+// half when one fills.
 func (s *System) AllocPlain(n int) (uint64, error) {
 	pages := uint64((n + dram.PageSize - 1) / dram.PageSize)
-	addr := s.nextPlain
-	if addr+pages*dram.PageSize > s.plainEnd {
-		return 0, fmt.Errorf("sim: plain memory exhausted")
+	for i := range s.plainRegions {
+		r := &s.plainRegions[i]
+		if r.next+pages*dram.PageSize <= r.end {
+			addr := r.next
+			r.next += pages * dram.PageSize
+			return addr, nil
+		}
 	}
-	s.nextPlain += pages * dram.PageSize
-	return addr, nil
+	return 0, fmt.Errorf("sim: plain memory exhausted")
 }
 
 // MemMLP is the memory-level parallelism of bulk sequential accesses:
@@ -246,8 +310,16 @@ func (s *System) DMAOut(addr uint64, n int) ([]byte, int64, error) {
 	return out, lat / MemMLP, nil
 }
 
-// MemoryBytesMoved returns total DRAM channel traffic on channel 0.
-func (s *System) MemoryBytesMoved() uint64 { return s.BWMeter.TotalBytes() }
+// MemoryBytesMoved returns total metered DRAM channel traffic: channel
+// 0 alone in the historical single-device configurations, and the sum
+// over every rank's channel in a multi-rank fleet.
+func (s *System) MemoryBytesMoved() uint64 {
+	var n uint64
+	for _, m := range s.Meters {
+		n += m.TotalBytes()
+	}
+	return n
+}
 
 // LLCMissRateSample samples and resets the LLC miss-rate window — the
 // probe the adaptive policy uses (§V-C).

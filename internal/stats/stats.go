@@ -173,6 +173,29 @@ func (m *BandwidthMeter) Utilization() float64 {
 // Samples returns the windowed samples captured so far.
 func (m *BandwidthMeter) Samples() []BandwidthSample { return m.intervals }
 
+// Merge folds another meter's traffic into this one, so per-device
+// channel meters aggregate into a fleet total. Byte counts add; the
+// merged observation window spans both meters' windows (fleet members
+// run under one simulated clock, so the union interval is meaningful).
+// Windowed samples are not merged — sample the aggregate instead.
+func (m *BandwidthMeter) Merge(o *BandwidthMeter) {
+	if o == nil || !o.started {
+		return
+	}
+	if !m.started {
+		m.startPs, m.lastPs, m.started = o.startPs, o.lastPs, true
+	} else {
+		if o.startPs < m.startPs {
+			m.startPs = o.startPs
+		}
+		if o.lastPs > m.lastPs {
+			m.lastPs = o.lastPs
+		}
+	}
+	m.bytes += o.bytes
+	m.windowBase += o.bytes
+}
+
 func ratePerSec(bytes uint64, ps int64) float64 {
 	if ps <= 0 {
 		return 0
@@ -228,6 +251,48 @@ func (h *Histogram) Percentile(p float64) float64 {
 		rank = 0
 	}
 	return h.samples[rank]
+}
+
+// Merge folds another histogram's samples into this one so per-device
+// latency sketches aggregate into fleet percentiles. Both inputs are
+// sorted in place (each is O(n log n) at most once over its lifetime)
+// and combined with a single linear two-pointer pass — the union is
+// never re-sorted, so repeated fleet aggregation stays O(total) after
+// the first query on each member. The argument is left sorted and
+// otherwise untouched.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	if !o.sorted {
+		sort.Float64s(o.samples)
+		o.sorted = true
+	}
+	if len(h.samples) == 0 {
+		h.samples = append(h.samples, o.samples...)
+		h.sorted = true
+		h.sum += o.sum
+		return
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+	}
+	merged := make([]float64, 0, len(h.samples)+len(o.samples))
+	i, j := 0, 0
+	for i < len(h.samples) && j < len(o.samples) {
+		if h.samples[i] <= o.samples[j] {
+			merged = append(merged, h.samples[i])
+			i++
+		} else {
+			merged = append(merged, o.samples[j])
+			j++
+		}
+	}
+	merged = append(merged, h.samples[i:]...)
+	merged = append(merged, o.samples[j:]...)
+	h.samples = merged
+	h.sorted = true
+	h.sum += o.sum
 }
 
 // Max returns the largest sample, or 0 with no samples.

@@ -246,3 +246,92 @@ func TestCASKindString(t *testing.T) {
 		t.Fatal("CASKind strings wrong")
 	}
 }
+
+func TestHistogramMergeMatchesUnion(t *testing.T) {
+	var a, b, want Histogram
+	for i := 0; i < 50; i++ {
+		v := float64((i * 7919) % 100)
+		a.Observe(v)
+		want.Observe(v)
+	}
+	for i := 0; i < 37; i++ {
+		v := float64((i * 104729) % 250)
+		b.Observe(v)
+		want.Observe(v)
+	}
+	a.Percentile(50) // force a to be sorted before the merge
+	a.Merge(&b)
+	if a.Count() != want.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), want.Count())
+	}
+	if math.Abs(a.Mean()-want.Mean()) > 1e-9 {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), want.Mean())
+	}
+	for _, p := range []float64{0, 1, 25, 50, 90, 99, 100} {
+		if got, exp := a.Percentile(p), want.Percentile(p); got != exp {
+			t.Fatalf("p%v = %v, want %v", p, got, exp)
+		}
+	}
+	// Invariant: the merged sample set is already sorted (no re-sort).
+	for i := 1; i < len(a.samples); i++ {
+		if a.samples[i-1] > a.samples[i] {
+			t.Fatalf("merged samples not sorted at %d", i)
+		}
+	}
+	if !a.sorted {
+		t.Fatal("merge must leave the receiver marked sorted")
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	var a Histogram
+	a.Merge(nil) // no-op
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 0 {
+		t.Fatal("merging empties should observe nothing")
+	}
+	var b Histogram
+	b.Observe(3)
+	b.Observe(1)
+	a.Merge(&b) // empty receiver adopts the argument's samples
+	if a.Count() != 2 || a.Percentile(0) != 1 || a.Percentile(100) != 3 {
+		t.Fatalf("merge into empty: count=%d min=%v max=%v", a.Count(), a.Percentile(0), a.Percentile(100))
+	}
+	if b.Count() != 2 || b.Percentile(100) != 3 {
+		t.Fatal("merge must leave the argument intact")
+	}
+	// Receiver keeps observing after a merge.
+	a.Observe(2)
+	if a.Percentile(50) != 2 {
+		t.Fatalf("post-merge median = %v, want 2", a.Percentile(50))
+	}
+}
+
+func TestBandwidthMeterMerge(t *testing.T) {
+	a := &BandwidthMeter{PeakBytesPerSec: 100e9}
+	b := &BandwidthMeter{PeakBytesPerSec: 100e9}
+	a.Record(0, 1000)
+	a.Record(1e12, 1000) // 2000B over 1s
+	b.Record(5e11, 500)
+	b.Record(2e12, 1500) // 2000B, window extends to 2s
+	a.Merge(b)
+	if got := a.TotalBytes(); got != 4000 {
+		t.Fatalf("merged total = %d, want 4000", got)
+	}
+	// Union window = [0, 2s] → 4000B / 2s = 2000 B/s.
+	if got := a.MeanBytesPerSec(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("merged mean rate = %v, want 2000", got)
+	}
+	// Merging into a fresh meter adopts the argument's window.
+	total := &BandwidthMeter{}
+	total.Merge(a)
+	if total.TotalBytes() != 4000 || total.MeanBytesPerSec() != a.MeanBytesPerSec() {
+		t.Fatal("merge into fresh meter should adopt totals and window")
+	}
+	var idle BandwidthMeter
+	total.Merge(&idle) // unstarted argument is a no-op
+	if total.TotalBytes() != 4000 {
+		t.Fatal("merging an unstarted meter must not change totals")
+	}
+}

@@ -23,6 +23,11 @@ type Config struct {
 	// ThinkPs is the client-side delay between a response and the next
 	// request (wrk uses ~0; the network RTT is charged here too).
 	ThinkPs int64
+	// ThinkPsFor, when non-nil, overrides ThinkPs per connection —
+	// skewed workloads (e.g. Zipf request-rate distributions for the
+	// fleet scaling experiment) give hot connections short think times
+	// and cold connections long ones.
+	ThinkPsFor func(connID int) int64
 	// MaxRequests stops issuing new requests after this many (0 = no
 	// cap; the run ends at the engine deadline).
 	MaxRequests uint64
@@ -85,8 +90,12 @@ func (g *Generator) issue(connID int) {
 			g.Completed++
 			g.Latency.Observe(float64(g.eng.Now()-start) * 1e-12)
 		}
-		if g.cfg.ThinkPs > 0 {
-			g.eng.After(g.cfg.ThinkPs, func() { g.issue(connID) })
+		think := g.cfg.ThinkPs
+		if g.cfg.ThinkPsFor != nil {
+			think = g.cfg.ThinkPsFor(connID)
+		}
+		if think > 0 {
+			g.eng.After(think, func() { g.issue(connID) })
 		} else {
 			g.eng.At(g.eng.Now(), func() { g.issue(connID) })
 		}
