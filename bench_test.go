@@ -30,6 +30,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // benchPool fans a sweep benchmark's independent simulations across all
@@ -550,6 +551,28 @@ func BenchmarkCompCpyThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTelemetryDisabled pins the zero-overhead-when-disabled
+// contract: every instrumentation site degenerates to one nil compare
+// on a disabled (nil) tracer — no allocations, low single-digit ns.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var tr *telemetry.Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Span(0, "span", 1, 2)
+		tr.Instant(0, "instant", 3)
+		tr.Counter(0, "counter", 4, 5)
+		tr.AsyncBegin(0, "req", 6, 7)
+		tr.AsyncEnd(0, "req", 6, 8)
+		tr.Track("track")
+	})
+	if allocs != 0 {
+		b.Fatalf("disabled tracer allocates: %v allocs/op", allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Span(0, "span", int64(i), 2)
+	}
 }
 
 func benchName(prefix string, v int) string {

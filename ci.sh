@@ -9,11 +9,18 @@
 #   3. chaos smoke  — the bounded (-short) chaos soak first: randomized
 #                     fault schedules against the cross-layer invariants,
 #                     cheap enough to fail fast before the long stages
-#   4. race tests   — the concurrency-bearing packages (the runner pool,
+#   4. wall-clock gate — no simulator code may read the host clock:
+#                     trace timestamps come from simulated picoseconds
+#                     only, so any time.Now() inside internal/ breaks
+#                     byte-reproducible traces and fails the build
+#   5. race tests   — the concurrency-bearing packages (the runner pool,
 #                     the event kernel, the offload/nettcp layers the
-#                     server model drives from pool workers, and the
-#                     fleet dispatcher's determinism gate) under -race
-#   5. go test      — the full suite with a shuffled test order: the
+#                     server model drives from pool workers, the fleet
+#                     dispatcher's determinism gate, and telemetry
+#                     tracing under the parallel runner) under -race
+#   6. golden trace — the Perfetto exporter against its committed golden
+#                     file plus the full-stack byte-reproducibility gate
+#   7. go test      — the full suite with a shuffled test order: the
 #                     serial-vs-parallel sweep determinism gate plus the
 #                     full 200-schedule chaos soak, and -shuffle guards
 #                     against inter-test state leaking into results
@@ -29,8 +36,17 @@ go build ./...
 echo "== go test -short ./internal/chaos/"
 go test -short ./internal/chaos/
 
-echo "== go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/ ./internal/fleet/"
-go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/ ./internal/fleet/
+echo "== wall-clock gate (no time.Now() in internal/)"
+if grep -rn "time\.Now()" internal/ --include="*.go"; then
+	echo "ci.sh: time.Now() found in internal/ — simulator code must use simulated time" >&2
+	exit 1
+fi
+
+echo "== go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/ ./internal/fleet/ ./internal/telemetry/"
+go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/nettcp/ ./internal/fleet/ ./internal/telemetry/
+
+echo "== golden Perfetto trace"
+go test -run 'TestPerfettoGolden|TestFullStackTraceReproducible' ./internal/telemetry/
 
 echo "== go test -shuffle=on ./..."
 go test -shuffle=on ./...

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale); empty = all (2b and scale excluded)")
+	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,breakdown); empty = all (2b, scale, breakdown excluded)")
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
@@ -62,6 +62,9 @@ func main() {
 	}
 	if *fig == "scale" {
 		figScale(pool)
+	}
+	if *fig == "breakdown" {
+		figBreakdown(pool, sc)
 	}
 	if run(3) {
 		fig3(pool, sc)
@@ -127,6 +130,30 @@ func figScale(pool *runner.Pool) {
 		fail(err)
 	}
 	fmt.Print(experiments.RenderScale(pts))
+	fmt.Println()
+}
+
+func figBreakdown(pool *runner.Pool, sc experiments.Scale) {
+	fmt.Println("=== Per-stage latency breakdown: Nginx TLS, 16KB messages ===")
+	fmt.Println("model: summed worker occupancy per pipeline stage over the measured window;")
+	fmt.Println("       wire = shared NIC link serialization. SmartDIMM drops the copy stage")
+	fmt.Println("       (inline page cache) and shrinks ULP to doorbell+descriptor costs")
+	rows, err := experiments.FigBreakdown(pool, sc, server.HTTPSMode, 16384)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-12s", "config")
+	for _, n := range server.StageNames {
+		fmt.Printf(" %9s%%", n)
+	}
+	fmt.Printf(" %12s\n", "mean-lat(us)")
+	for _, r := range rows {
+		fmt.Printf("%-12s", r.Placement)
+		for _, s := range r.SharePct {
+			fmt.Printf(" %10.1f", s)
+		}
+		fmt.Printf(" %12.1f\n", float64(r.Metrics.MeanLatPs)/float64(sim.Us))
+	}
 	fmt.Println()
 }
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wrkgen"
 )
 
@@ -52,6 +53,8 @@ type cliConfig struct {
 	warmupMs  int
 	measureMs int
 	seed      int64
+	tracePath string
+	metrics   bool
 }
 
 func main() {
@@ -69,6 +72,8 @@ func main() {
 	measureMs := flag.Int("measure-ms", 20, "measurement window")
 	seed := flag.Int64("seed", 1, "workload seed")
 	par := flag.Int("parallel", 0, "concurrent sweep runs (0 = GOMAXPROCS, 1 = serial)")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (single-point sweeps only)")
+	metrics := flag.Bool("metrics", false, "append the full metrics registry (name value lines) to the report")
 	flag.Parse()
 
 	kind, err := parseKind(*kindName)
@@ -91,6 +96,7 @@ func main() {
 		placement: strings.ToLower(*placement), ulpName: strings.ToLower(*ulpName),
 		workers: *workers, devices: *devices, llc: *llc, ways: *ways, kind: kind,
 		warmupMs: *warmupMs, measureMs: *measureMs, seed: *seed,
+		tracePath: *tracePath, metrics: *metrics,
 	}
 
 	type point struct{ msg, conns int }
@@ -99,6 +105,9 @@ func main() {
 		for _, c := range conns {
 			sweep = append(sweep, point{msg: m, conns: c})
 		}
+	}
+	if cfg.tracePath != "" && len(sweep) > 1 {
+		fatal(fmt.Errorf("-trace: sweep has %d points; tracing needs a single msg/conns point", len(sweep)))
 	}
 	var pool *runner.Pool
 	if *par != 1 && len(sweep) > 1 {
@@ -142,11 +151,21 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 	if isFleet {
 		ranks = cfg.devices
 	}
+	var tracer *telemetry.Tracer
+	traceCAS := 0
+	if cfg.tracePath != "" {
+		tracer = telemetry.New()
+		// A traced run also records the channel-0 CAS stream so the
+		// Perfetto counter track has data.
+		traceCAS = 1 << 16
+	}
 	sys, err := sim.NewSystem(sim.SystemConfig{
 		Params: sim.DefaultParams(), LLCBytes: cfg.llc, LLCWays: cfg.ways,
 		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
 		WithSmartDIMM:  withDIMM,
 		SmartDIMMRanks: ranks,
+		Tracer:         tracer,
+		TraceCAS:       traceCAS,
 	})
 	if err != nil {
 		return "", err
@@ -245,6 +264,42 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 			fmt.Fprintf(&b, "adaptive:    %d offloaded, %d on CPU (last miss rate %.3f)\n",
 				ad.OffloadedN, ad.OnCPUN, ad.LastMissRate)
 		}
+	}
+	if cfg.metrics {
+		reg := telemetry.NewRegistry()
+		reg.Register("server", m)
+		if sys.Dev != nil {
+			reg.Register("dev", sys.Dev.Stats())
+			reg.Register("driver", sys.Driver.Stats())
+		}
+		for r, ctl := range sys.Ctls {
+			reg.Register(fmt.Sprintf("mem.rank%d", r), ctl.Stats())
+		}
+		if fl != nil {
+			reg.Register("fleet", fl.Totals())
+		}
+		fmt.Fprintf(&b, "--- metrics ---\n")
+		if err := reg.WriteText(&b); err != nil {
+			return "", err
+		}
+	}
+	if tracer != nil {
+		if sys.Trace != nil {
+			sys.Trace.ExportTo(tracer)
+		}
+		f, err := os.Create(cfg.tracePath)
+		if err != nil {
+			return "", err
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "trace:       %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n",
+			cfg.tracePath, tracer.Len())
 	}
 	return b.String(), nil
 }

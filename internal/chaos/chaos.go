@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/aesgcm"
 	"repro/internal/core"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/offload"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Message capacities of the per-scenario connections: two records per
@@ -68,6 +70,21 @@ type Report struct {
 	// Trace is the canonical fault trace: equal across runs of the same
 	// seed, the reproducibility artifact.
 	Trace string
+	// TracePath is where RunWithTrace wrote the Perfetto trace (empty
+	// for plain Run).
+	TracePath string
+}
+
+// Collect implements telemetry.Collector.
+func (r Report) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "seed", Value: float64(r.Seed)})
+	emit(telemetry.Sample{Name: "ops", Value: float64(r.Ops)})
+	emit(telemetry.Sample{Name: "tolerated", Value: float64(r.Tolerated)})
+	emit(telemetry.Sample{Name: "consults", Value: float64(r.Consults)})
+	emit(telemetry.Sample{Name: "fired", Value: float64(r.Fired)})
+	emit(telemetry.Sample{Name: "primary_ops", Value: float64(r.PrimaryOps)})
+	emit(telemetry.Sample{Name: "fallback_ops", Value: float64(r.FallbackOps)})
+	emit(telemetry.Sample{Name: "violations", Value: float64(len(r.Violations))})
 }
 
 // chunkRef is one destination region an operation may have registered;
@@ -146,6 +163,35 @@ func armSites(rng *rand.Rand, inj *fault.Injector) {
 // harness construction failures only; invariant breaches land in
 // Report.Violations.
 func Run(seed int64, ops int) (Report, error) {
+	return run(seed, ops, nil)
+}
+
+// RunWithTrace is Run with span tracing enabled: the scenario records a
+// Perfetto trace (fault instants, driver CompCpy spans, device events,
+// controller drains) and writes it to tracePath. Same-seed runs write
+// byte-identical traces.
+func RunWithTrace(seed int64, ops int, tracePath string) (Report, error) {
+	tr := telemetry.New()
+	rep, err := run(seed, ops, tr)
+	if err != nil {
+		return rep, err
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return rep, err
+	}
+	if err := tr.WritePerfetto(f); err != nil {
+		f.Close()
+		return rep, err
+	}
+	if err := f.Close(); err != nil {
+		return rep, err
+	}
+	rep.TracePath = tracePath
+	return rep, nil
+}
+
+func run(seed int64, ops int, tracer *telemetry.Tracer) (Report, error) {
 	if ops <= 0 {
 		ops = 12
 	}
@@ -167,6 +213,7 @@ func Run(seed int64, ops int) (Report, error) {
 		LLCWays:       8,
 		DeviceConfig:  &dc,
 		Faults:        inj,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return rep, err

@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/offload"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // fleetRanks is the fleet schedule's device count: three ranks so a
@@ -57,6 +59,27 @@ type FleetReport struct {
 	// Trace is the canonical fault trace; Placement is the fleet's
 	// placement trace. Both must replay byte-identically from the seed.
 	Trace, Placement string
+	// TracePath is where RunFleetWithTrace wrote the Perfetto trace
+	// (empty for plain RunFleet).
+	TracePath string
+}
+
+// Collect implements telemetry.Collector.
+func (r FleetReport) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "seed", Value: float64(r.Seed)})
+	emit(telemetry.Sample{Name: "ops", Value: float64(r.Ops)})
+	emit(telemetry.Sample{Name: "devices", Value: float64(r.Devices)})
+	emit(telemetry.Sample{Name: "tolerated", Value: float64(r.Tolerated)})
+	emit(telemetry.Sample{Name: "consults", Value: float64(r.Consults)})
+	emit(telemetry.Sample{Name: "fired", Value: float64(r.Fired)})
+	emit(telemetry.Sample{Name: "trips", Value: float64(r.Trips)})
+	emit(telemetry.Sample{Name: "readmits", Value: float64(r.Readmits)})
+	emit(telemetry.Sample{Name: "migrations", Value: float64(r.Migrations)})
+	emit(telemetry.Sample{Name: "sheds", Value: float64(r.Sheds)})
+	emit(telemetry.Sample{Name: "soft_ops", Value: float64(r.SoftOps)})
+	emit(telemetry.Sample{Name: "primary_ops", Value: float64(r.PrimaryOps)})
+	emit(telemetry.Sample{Name: "fallback_ops", Value: float64(r.FallbackOps)})
+	emit(telemetry.Sample{Name: "violations", Value: float64(len(r.Violations))})
 }
 
 // fleetChunk is one destination region an operation may have registered,
@@ -91,6 +114,34 @@ type fleetScenario struct {
 // error reports harness construction failures only; invariant breaches
 // land in FleetReport.Violations.
 func RunFleet(seed int64, ops int) (FleetReport, error) {
+	return runFleet(seed, ops, nil)
+}
+
+// RunFleetWithTrace is RunFleet with span tracing enabled; the Perfetto
+// trace (including fleet trip/drain/reshard instants) lands at
+// tracePath. Same-seed runs write byte-identical traces.
+func RunFleetWithTrace(seed int64, ops int, tracePath string) (FleetReport, error) {
+	tr := telemetry.New()
+	rep, err := runFleet(seed, ops, tr)
+	if err != nil {
+		return rep, err
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return rep, err
+	}
+	if err := tr.WritePerfetto(f); err != nil {
+		f.Close()
+		return rep, err
+	}
+	if err := f.Close(); err != nil {
+		return rep, err
+	}
+	rep.TracePath = tracePath
+	return rep, nil
+}
+
+func runFleet(seed int64, ops int, tracer *telemetry.Tracer) (FleetReport, error) {
 	if ops <= 0 {
 		ops = 16
 	}
@@ -112,6 +163,7 @@ func RunFleet(seed int64, ops int) (FleetReport, error) {
 		LLCWays:        8,
 		DeviceConfig:   &dc,
 		Faults:         inj,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return rep, err

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/dram"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the CompCpy path. ErrNoScratchpad, ErrDSAFault and
@@ -67,6 +68,13 @@ type Driver struct {
 	// own record.
 	AbortProbe func() uint64
 
+	// Clock, when non-nil, supplies the current simulated time in
+	// picoseconds (sim.Engine.Now); Tracer then records one span per
+	// CompCpy call and an instant per Force-Recycle on TraceTrack.
+	Clock      func() int64
+	Tracer     *telemetry.Tracer
+	TraceTrack telemetry.TrackID
+
 	mu        sync.Mutex
 	freePages int64 // lazily refreshed Scratchpad page estimate
 	nextPage  uint64
@@ -92,6 +100,25 @@ func NewDriver(host Host, base uint64, devCapacity uint64, mmioPages int) *Drive
 
 // Stats returns a copy of the driver statistics.
 func (d *Driver) Stats() DriverStats { return d.stats }
+
+// Collect implements telemetry.Collector.
+func (s DriverStats) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "compcpy_calls", Value: float64(s.CompCpyCalls)})
+	emit(telemetry.Sample{Name: "force_recycles", Value: float64(s.ForceRecycleCalls)})
+	emit(telemetry.Sample{Name: "status_reads", Value: float64(s.StatusReads)})
+	emit(telemetry.Sample{Name: "bytes_offloaded", Value: float64(s.BytesOffloaded)})
+	emit(telemetry.Sample{Name: "pages_allocated", Value: float64(s.PagesAllocated)})
+	emit(telemetry.Sample{Name: "pages_freed", Value: float64(s.PagesFreed)})
+	emit(telemetry.Sample{Name: "offload_aborts", Value: float64(s.OffloadAborts)})
+}
+
+// nowPs samples the simulated clock, or 0 when no clock is wired.
+func (d *Driver) nowPs() int64 {
+	if d.Clock == nil {
+		return 0
+	}
+	return d.Clock()
+}
 
 // OutstandingPages returns the pages currently allocated to offload
 // buffers (allocated minus freed). The fleet's cross-device conservation
@@ -160,6 +187,7 @@ func (d *Driver) readStatus() (free int64, pendingCount int64, err error) {
 // cachelines write back and recycle Scratchpad lines.
 func (d *Driver) forceRecycle(requiredToBeFree int) error {
 	d.stats.ForceRecycleCalls++
+	d.Tracer.Instant(d.TraceTrack, "force-recycle", d.nowPs())
 	_, pending, err := d.readStatus()
 	if err != nil {
 		return err
@@ -289,6 +317,9 @@ func (d *Driver) CompCpy(core int, dbuf, sbuf uint64, size int, ctx *OffloadCont
 		return 0, fmt.Errorf("core: record aborted mid-offload: %w", ErrDSAFault)
 	}
 	elapsed += copyLat / memMLP
+	if d.Tracer != nil {
+		d.Tracer.Span(d.TraceTrack, "CompCpy", d.nowPs(), elapsed)
+	}
 	return elapsed, nil
 }
 

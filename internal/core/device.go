@@ -7,6 +7,7 @@ import (
 	"repro/internal/cuckoo"
 	"repro/internal/dram"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // regMagic marks a valid MMIO registration header.
@@ -91,6 +92,14 @@ type Device struct {
 	// fault, aborting the record), and "core.ttinsert" (Translation
 	// Table insert failure during registration).
 	Faults *fault.Injector
+	// Tracer, when non-nil, records arbiter instants (page recycles,
+	// record aborts) on TraceTrack. TraceCycPs converts the device's
+	// DRAM-cycle clock to picoseconds (the controller's tCK); the
+	// per-cacheline S6/S10 paths are never instrumented.
+	Tracer     *telemetry.Tracer
+	TraceTrack telemetry.TrackID
+	TraceCycPs int64
+	lastCycle  int64
 }
 
 type regState struct {
@@ -140,6 +149,27 @@ func (d *Device) MMIOBase() uint64 { return d.mmioBase }
 // Stats returns a copy of the arbiter statistics.
 func (d *Device) Stats() DeviceStats { return d.stats }
 
+// Collect implements telemetry.Collector.
+func (s DeviceStats) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "registrations", Value: float64(s.Registrations)})
+	emit(telemetry.Sample{Name: "source_reads", Value: float64(s.SourceReads)})
+	emit(telemetry.Sample{Name: "dsa_lines_fed", Value: float64(s.DSALinesFed)})
+	emit(telemetry.Sample{Name: "self_recycles", Value: float64(s.SelfRecycles)})
+	emit(telemetry.Sample{Name: "pages_recycled", Value: float64(s.PagesRecycled)})
+	emit(telemetry.Sample{Name: "ignored_writes", Value: float64(s.IgnoredWrites)})
+	emit(telemetry.Sample{Name: "scratchpad_reads", Value: float64(s.ScratchpadReads)})
+	emit(telemetry.Sample{Name: "alerts", Value: float64(s.Alerts)})
+	emit(telemetry.Sample{Name: "auth_failures", Value: float64(s.AuthFailures)})
+	emit(telemetry.Sample{Name: "stale_evictions", Value: float64(s.StaleEvictions)})
+	emit(telemetry.Sample{Name: "dsa_errors", Value: float64(s.DSAErrors)})
+	emit(telemetry.Sample{Name: "record_aborts", Value: float64(s.RecordAborts)})
+}
+
+// traceInstant timestamps an arbiter event with the last command cycle.
+func (d *Device) traceInstant(name string) {
+	d.Tracer.Instant(d.TraceTrack, name, d.lastCycle*d.TraceCycPs)
+}
+
 // ScratchpadOccupancyBytes returns un-recycled Scratchpad bytes (Fig 10).
 func (d *Device) ScratchpadOccupancyBytes() int { return d.sp.occupancyBytes() }
 
@@ -168,6 +198,7 @@ func (d *Device) HandleCommand(cycle int64, cmd dram.Command, wdata, rdata []byt
 	if bc := cycle / 4; bc > d.stats.BufferCycles {
 		d.stats.BufferCycles = bc // buffer device runs at 1/4 DRAM clock
 	}
+	d.lastCycle = cycle
 	switch cmd.Kind {
 	case dram.CmdACT:
 		d.bank[d.mapper.BankIndex(cmd.Rank, cmd.BG, cmd.BA)] = int32(cmd.Row)
@@ -402,6 +433,7 @@ func (d *Device) retirePage(tr *translation, sp *spPage) {
 	d.tt.Delete(sp.dbufPage)
 	d.sp.release(tr.spIdx)
 	d.stats.PagesRecycled++
+	d.traceInstant("page-recycled")
 	rec.donePages++
 	if rec.donePages == len(rec.destPages) {
 		for _, src := range rec.srcPages {
@@ -442,6 +474,7 @@ func (d *Device) abortRecord(rec *record) {
 		d.reg = nil
 	}
 	d.stats.RecordAborts++
+	d.traceInstant("record-abort")
 }
 
 // abortByPage resolves a record from any of its registered pages and

@@ -118,6 +118,13 @@ type Injector struct {
 	trace []Event
 	fired int64
 	total int64
+
+	// OnFire, when set, observes every fired event — the telemetry layer
+	// hooks it to place fault firings on the trace timeline as instant
+	// events without this package importing telemetry. It runs with the
+	// injector's lock held: it must not call back into the Injector.
+	// now is the caller's clock (ps or cycles, site-defined).
+	OnFire func(site string, seq, now int64)
 }
 
 // New returns an Injector with no armed sites; seed determines every
@@ -194,6 +201,9 @@ func (in *Injector) Fire(name string, now int64) bool {
 	}
 	in.fired++
 	in.trace = append(in.trace, Event{Site: name, Seq: s.seq, Now: now})
+	if in.OnFire != nil {
+		in.OnFire(name, s.seq, now)
+	}
 	return true
 }
 

@@ -38,6 +38,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Policy selects how the fleet places and rebalances connections.
@@ -215,6 +216,11 @@ type Fleet struct {
 	batches  uint64
 
 	trace []string
+
+	// tr/trTrack mirror cfg.Sys.Tracer: every tracef site doubles as a
+	// Perfetto instant on the "fleet" track when tracing is enabled.
+	tr      *telemetry.Tracer
+	trTrack telemetry.TrackID
 }
 
 // New builds a fleet over every SmartDIMM rank cfg.Sys exposes. The
@@ -256,6 +262,10 @@ func New(cfg Config) (*Fleet, error) {
 		cfg.CooldownOps = 256
 	}
 	f := &Fleet{cfg: cfg, conns: make(map[int]*homeRec)}
+	if tr := cfg.Sys.Tracer; tr != nil {
+		f.tr = tr
+		f.trTrack = tr.Track("fleet")
+	}
 	for i, drv := range cfg.Sys.Drivers {
 		m := &member{
 			idx:     i,
@@ -874,6 +884,30 @@ func (f *Fleet) Totals() Totals {
 	return t
 }
 
+// Collect implements telemetry.Collector, flattening the merged
+// degradation and service-time aggregates under dotted prefixes.
+func (t Totals) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "devices", Value: float64(t.Devices)})
+	emit(telemetry.Sample{Name: "active", Value: float64(t.Active)})
+	emit(telemetry.Sample{Name: "descriptors", Value: float64(t.Descriptors)})
+	emit(telemetry.Sample{Name: "batches", Value: float64(t.Batches)})
+	emit(telemetry.Sample{Name: "sheds", Value: float64(t.Sheds)})
+	emit(telemetry.Sample{Name: "migrations", Value: float64(t.Migrations)})
+	emit(telemetry.Sample{Name: "trips", Value: float64(t.Trips)})
+	emit(telemetry.Sample{Name: "readmits", Value: float64(t.Readmits)})
+	emit(telemetry.Sample{Name: "soft_ops", Value: float64(t.SoftOps)})
+	emit(telemetry.Sample{Name: "migrated_bytes", Value: float64(t.MigratedBytes)})
+	emit(telemetry.Sample{Name: "bytes_moved", Value: float64(t.BytesMoved)})
+	t.Degraded.Collect(func(s telemetry.Sample) {
+		s.Name = "degraded." + s.Name
+		emit(s)
+	})
+	t.ServicePs.Collect(func(s telemetry.Sample) {
+		s.Name = "service_ps." + s.Name
+		emit(s)
+	})
+}
+
 // AggregateBW merges every rank channel's bandwidth meter into one.
 func (f *Fleet) AggregateBW() *stats.BandwidthMeter {
 	agg := &stats.BandwidthMeter{}
@@ -892,7 +926,12 @@ func (f *Fleet) TraceString() string {
 }
 
 func (f *Fleet) tracef(format string, args ...any) {
-	if f.cfg.TracePlacement {
-		f.trace = append(f.trace, fmt.Sprintf(format, args...))
+	if !f.cfg.TracePlacement && f.tr == nil {
+		return
 	}
+	s := fmt.Sprintf(format, args...)
+	if f.cfg.TracePlacement {
+		f.trace = append(f.trace, s)
+	}
+	f.tr.Instant(f.trTrack, s, f.cfg.Sys.Engine.Now())
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // ErrAlertRetryExhausted is returned (wrapped, with the address) when a
@@ -116,6 +117,11 @@ type Controller struct {
 	// a fired consultation makes the rdCAS data transfer fail its CRC
 	// check and retry through the same backoff path as ALERT_N.
 	Faults *fault.Injector
+	// Tracer, when non-nil, records write-queue drain spans and
+	// ALERT_N/CRC-retry instants on TraceTrack. Per-CAS paths are never
+	// instrumented; the CAS view comes from Trace via ExportTo.
+	Tracer     *telemetry.Tracer
+	TraceTrack telemetry.TrackID
 }
 
 // New builds a controller over the module.
@@ -145,6 +151,20 @@ func New(cfg Config, mod dram.Module) *Controller {
 
 // Stats returns a copy of the counters.
 func (c *Controller) Stats() Stats { return c.st }
+
+// Collect implements telemetry.Collector.
+func (s Stats) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "reads", Value: float64(s.Reads)})
+	emit(telemetry.Sample{Name: "writes", Value: float64(s.Writes)})
+	emit(telemetry.Sample{Name: "row_hits", Value: float64(s.RowHits)})
+	emit(telemetry.Sample{Name: "row_misses", Value: float64(s.RowMisses)})
+	emit(telemetry.Sample{Name: "row_conflicts", Value: float64(s.RowConflict)})
+	emit(telemetry.Sample{Name: "alerts", Value: float64(s.Alerts)})
+	emit(telemetry.Sample{Name: "crc_retries", Value: float64(s.CRCRetries)})
+	emit(telemetry.Sample{Name: "drains", Value: float64(s.Drains)})
+	emit(telemetry.Sample{Name: "turnarounds", Value: float64(s.Turnarounds)})
+	emit(telemetry.Sample{Name: "busy_cycles", Value: float64(s.BusyCycles)})
+}
 
 // Now returns the controller clock in DRAM cycles.
 func (c *Controller) Now() int64 { return c.now }
@@ -290,6 +310,7 @@ func (c *Controller) Read(addr uint64, core int, dst []byte) (int64, error) {
 			return done, nil
 		}
 		c.st.Alerts++
+		c.Tracer.Instant(c.TraceTrack, "ALERT_N", c.CycleToPs(at))
 		if attempt >= c.cfg.MaxAlertRetries {
 			return 0, fmt.Errorf("%w: %#x after %d retries",
 				ErrAlertRetryExhausted, addr, attempt)
@@ -348,6 +369,7 @@ func (c *Controller) DrainWrites() (int64, error) {
 		return c.now, nil
 	}
 	c.st.Drains++
+	startCyc := c.now
 	t := c.cfg.Timing
 	var last int64
 	for i, w := range c.wq {
@@ -384,6 +406,9 @@ func (c *Controller) DrainWrites() (int64, error) {
 		c.now = maxI64(c.now, at)
 	}
 	c.wq = c.wq[:0]
+	if c.Tracer != nil && last > startCyc {
+		c.Tracer.Span(c.TraceTrack, "drain", c.CycleToPs(startCyc), c.CycleToPs(last-startCyc))
+	}
 	return last, nil
 }
 

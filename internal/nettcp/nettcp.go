@@ -11,6 +11,7 @@ package nettcp
 import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ULPHook charges ULP costs to the sender.
@@ -137,6 +138,11 @@ type Sender struct {
 	Timeouts       uint64
 	FastRecoveries uint64
 	DonePs         int64
+
+	// Tracer, when non-nil, records loss-recovery instants (retransmit,
+	// rto, fast-recovery) on TraceTrack. Set after NewTransfer.
+	Tracer     *telemetry.Tracer
+	TraceTrack telemetry.TrackID
 }
 
 // Receiver acknowledges cumulatively.
@@ -236,6 +242,7 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.Timeouts++
+	s.Tracer.Instant(s.TraceTrack, "rto", s.eng.Now())
 	s.ssthresh = s.cwnd / 2
 	if s.ssthresh < float64(2*s.cfg.MSS) {
 		s.ssthresh = float64(2 * s.cfg.MSS)
@@ -250,6 +257,7 @@ func (s *Sender) onRTO() {
 // retransmit resends one MSS at seq, charging the ULP retransmit cost.
 func (s *Sender) retransmit(seq int64) {
 	s.Retransmits++
+	s.Tracer.Instant(s.TraceTrack, "retransmit", s.eng.Now())
 	n := int(s.totalBytes - seq)
 	if n > s.cfg.MSS {
 		n = s.cfg.MSS
@@ -300,6 +308,7 @@ func (s *Sender) onAck(p netsim.Packet) {
 		if s.dupAcks == 3 && !s.recovering {
 			// Fast retransmit + recovery.
 			s.FastRecoveries++
+			s.Tracer.Instant(s.TraceTrack, "fast-recovery", s.eng.Now())
 			s.recovering = true
 			s.recoverSeq = s.nextSeq
 			s.ssthresh = s.cwnd / 2

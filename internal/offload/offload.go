@@ -729,6 +729,9 @@ func (b *SmartDIMM) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Resu
 		case degradable(err):
 			// Degradation ladder: CompCpy already tried Force-Recycle;
 			// process this chunk on the CPU into the same destination.
+			if tr := b.Sys.Tracer; tr != nil {
+				tr.Instant(tr.Track("offload"), "cpu-fallback", b.Sys.Engine.Now())
+			}
 			flat, ferr := b.fallbackChunk(u, coreID, ctx, sbuf, dbuf, n)
 			if ferr != nil {
 				return res, fmt.Errorf("offload: CPU fallback after %v: %w", err, ferr)
@@ -761,6 +764,9 @@ func (b *SmartDIMM) Process(u ULP, coreID int, conn *Conn, payloadLen int) (Resu
 		res.Records++
 	}
 	res.DstFlushNeeded = true
+	if tr := b.Sys.Tracer; tr != nil {
+		tr.Span(tr.Track("offload"), u.String(), b.Sys.Engine.Now(), res.WallPs())
+	}
 	return res, nil
 }
 

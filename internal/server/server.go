@@ -15,6 +15,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/offload"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Mode selects what the server does to response bodies.
@@ -70,6 +71,21 @@ type connState struct {
 	payload  []byte        // the file content (for staging)
 }
 
+// Pipeline stage indices for Metrics.StagePs. StageWire is the shared
+// NIC link's serialization window, split out from the TX stage's CPU
+// cost so the breakdown separates host work from wire occupancy.
+const (
+	StageParse = iota
+	StageCopy
+	StageULP
+	StageTX
+	StageWire
+	NumStages
+)
+
+// StageNames labels Metrics.StagePs entries, indexed by Stage*.
+var StageNames = [NumStages]string{"parse", "copy", "ulp", "tx", "wire"}
+
 // Metrics are the measured outcomes of a run.
 type Metrics struct {
 	Requests     uint64
@@ -82,10 +98,32 @@ type Metrics struct {
 	TXBytes      uint64
 	MeanLatPs    int64
 	DeviceBusyPs int64
+	// StagePs sums each pipeline stage's duration over measured
+	// requests (worker occupancy for parse/copy/ulp/tx, link occupancy
+	// for wire) — the per-stage latency breakdown of -fig breakdown.
+	StagePs [NumStages]int64
 	// Errors counts requests abandoned on processing errors since the
 	// server started (not windowed by BeginMeasurement: a fault during
 	// warmup still matters to a robustness run).
 	Errors uint64
+}
+
+// Collect implements telemetry.Collector.
+func (m Metrics) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "requests", Value: float64(m.Requests)})
+	emit(telemetry.Sample{Name: "elapsed_ps", Value: float64(m.ElapsedPs)})
+	emit(telemetry.Sample{Name: "rps", Value: m.RPS})
+	emit(telemetry.Sample{Name: "cpu_busy_ps", Value: float64(m.CPUBusyPs)})
+	emit(telemetry.Sample{Name: "cpu_util", Value: m.CPUUtil})
+	emit(telemetry.Sample{Name: "mem_bytes", Value: float64(m.MemBytes)})
+	emit(telemetry.Sample{Name: "mem_bw_gbps", Value: m.MemBWGBps})
+	emit(telemetry.Sample{Name: "tx_bytes", Value: float64(m.TXBytes)})
+	emit(telemetry.Sample{Name: "mean_lat_ps", Value: float64(m.MeanLatPs)})
+	emit(telemetry.Sample{Name: "device_busy_ps", Value: float64(m.DeviceBusyPs)})
+	for i, ps := range m.StagePs {
+		emit(telemetry.Sample{Name: "stage_ps." + StageNames[i], Value: float64(ps)})
+	}
+	emit(telemetry.Sample{Name: "errors", Value: float64(m.Errors)})
 }
 
 // Server is the Nginx model; it implements wrkgen.Target.
@@ -95,11 +133,22 @@ type Server struct {
 	conns []*connState
 	rng   *rand.Rand
 
-	idleWorkers int
+	// freeWorkers is a LIFO stack of idle worker ids. Scheduling is
+	// governed purely by its length (identical to the old idleWorkers
+	// counter); the ids only attribute stages to per-worker trace
+	// tracks.
+	freeWorkers []int
 	queue       []pendingReq
 
 	// link transmitter occupancy (shared NIC)
 	linkBusyPs int64
+
+	// tracing (all nil/zero when cfg.Sys.Tracer is nil)
+	tr           *telemetry.Tracer
+	workerTracks []telemetry.TrackID
+	nicTrack     telemetry.TrackID
+	reqTrack     telemetry.TrackID
+	reqSeq       uint64
 
 	// measurement
 	measuring    bool
@@ -110,6 +159,7 @@ type Server struct {
 	requests     uint64
 	txBytes      uint64
 	latSumPs     int64
+	stagePs      [NumStages]int64
 	errors       uint64
 	lastErr      error
 }
@@ -118,6 +168,7 @@ type pendingReq struct {
 	connID int
 	done   func()
 	at     int64
+	seq    uint64  // async-span id (only assigned when tracing)
 	ctx    *reqCtx // non-nil when re-entering a staged request
 }
 
@@ -134,8 +185,22 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: need message size")
 	}
 	s := &Server{
-		cfg: cfg, eng: eng, idleWorkers: cfg.Workers,
+		cfg: cfg, eng: eng,
 		rng: rand.New(rand.NewSource(cfg.Seed + 99)),
+	}
+	// Stacked so worker 0 pops first: the first dispatched stage lands
+	// on worker 0's track.
+	s.freeWorkers = make([]int, cfg.Workers)
+	for i := range s.freeWorkers {
+		s.freeWorkers[i] = cfg.Workers - 1 - i
+	}
+	if tr := cfg.Sys.Tracer; tr != nil {
+		s.tr = tr
+		for w := 0; w < cfg.Workers; w++ {
+			s.workerTracks = append(s.workerTracks, tr.Track(fmt.Sprintf("worker%d", w)))
+		}
+		s.nicTrack = tr.Track("nic")
+		s.reqTrack = tr.Track("requests")
 	}
 	inline := cfg.Mode != PlainHTTP && cfg.Backend != nil && cfg.Backend.InlineSource()
 	for id := 0; id < cfg.Connections; id++ {
@@ -179,20 +244,28 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 
 // Submit implements wrkgen.Target.
 func (s *Server) Submit(connID int, done func()) {
-	s.queue = append(s.queue, pendingReq{connID: connID, done: done, at: s.eng.Now()})
+	req := pendingReq{connID: connID, done: done, at: s.eng.Now()}
+	if s.tr != nil {
+		s.reqSeq++
+		req.seq = s.reqSeq
+		s.tr.AsyncBegin(s.reqTrack, "req", req.seq, req.at)
+	}
+	s.queue = append(s.queue, req)
 	s.dispatch()
 }
 
 // dispatch hands queued requests to idle workers.
 func (s *Server) dispatch() {
-	for s.idleWorkers > 0 && len(s.queue) > 0 {
+	for len(s.freeWorkers) > 0 && len(s.queue) > 0 {
 		req := s.queue[0]
 		s.queue = s.queue[1:]
-		s.idleWorkers--
+		w := s.freeWorkers[len(s.freeWorkers)-1]
+		s.freeWorkers = s.freeWorkers[:len(s.freeWorkers)-1]
 		if req.ctx != nil {
+			req.ctx.worker = w
 			s.runStage(req.ctx)
 		} else {
-			s.serve(req)
+			s.serve(req, w)
 		}
 	}
 }
@@ -207,6 +280,7 @@ type reqCtx struct {
 	req      pendingReq
 	conn     *connState
 	stage    int
+	worker   int   // worker currently holding this request's stage
 	cpu      int64 // accumulated CPU time
 	device   int64
 	txBytes  int
@@ -214,18 +288,26 @@ type reqCtx struct {
 	flushDst bool
 }
 
-// serve runs the request's current stage on a worker.
-func (s *Server) serve(req pendingReq) {
-	s.runStage(&reqCtx{req: req, conn: s.conns[req.connID%len(s.conns)]})
+// serve runs the request's current stage on worker w.
+func (s *Server) serve(req pendingReq, w int) {
+	s.runStage(&reqCtx{req: req, conn: s.conns[req.connID%len(s.conns)], worker: w})
 }
 
 // requeue releases the worker after stageCPU+stageDev and re-enters the
-// request for its next stage (or completes it).
-func (s *Server) requeue(rc *reqCtx, stageCPU, stageDev int64, final bool) {
+// request for its next stage (or completes it). ran names the stage
+// that just executed (PlainHTTP bumps rc.stage before releasing).
+func (s *Server) requeue(rc *reqCtx, ran int, stageCPU, stageDev int64, final bool) {
 	rc.cpu += stageCPU
 	rc.device += stageDev
-	s.eng.At(s.eng.Now()+stageCPU+stageDev, func() {
-		s.idleWorkers++
+	dur := stageCPU + stageDev
+	if s.measuring {
+		s.stagePs[ran] += dur
+	}
+	if s.tr != nil && dur > 0 {
+		s.tr.Span(s.workerTracks[rc.worker], StageNames[ran], s.eng.Now(), dur)
+	}
+	s.eng.At(s.eng.Now()+dur, func() {
+		s.freeWorkers = append(s.freeWorkers, rc.worker)
 		if !final {
 			rc.stage++
 			s.queueCtx(rc)
@@ -236,7 +318,7 @@ func (s *Server) requeue(rc *reqCtx, stageCPU, stageDev int64, final bool) {
 
 // queueCtx re-enters a staged request at the back of the work queue.
 func (s *Server) queueCtx(rc *reqCtx) {
-	s.queue = append(s.queue, pendingReq{connID: rc.req.connID, done: rc.req.done, at: rc.req.at, ctx: rc})
+	s.queue = append(s.queue, pendingReq{connID: rc.req.connID, done: rc.req.done, at: rc.req.at, seq: rc.req.seq, ctx: rc})
 }
 
 // failReq abandons a request after a processing error: the worker is
@@ -249,8 +331,12 @@ func (s *Server) failReq(rc *reqCtx, err error) {
 	s.errors++
 	s.lastErr = fmt.Errorf("server: request on conn %d: %w", rc.conn.id, err)
 	now := s.eng.Now()
+	if s.tr != nil {
+		s.tr.Instant(s.workerTracks[rc.worker], "error", now)
+		s.tr.AsyncEnd(s.reqTrack, "req", rc.req.seq, now)
+	}
 	s.eng.At(now, func() {
-		s.idleWorkers++
+		s.freeWorkers = append(s.freeWorkers, rc.worker)
 		s.dispatch()
 	})
 	s.eng.At(now, rc.req.done)
@@ -286,7 +372,7 @@ func (s *Server) runStage(rc *reqCtx) {
 		if s.cfg.Mode == PlainHTTP {
 			rc.stage++ // skip the copy and ULP stages
 		}
-		s.requeue(rc, cpu, device, false)
+		s.requeue(rc, StageParse, cpu, device, false)
 
 	case 1: // app copy out of the page cache (skipped for inline)
 		var cpu int64
@@ -303,7 +389,7 @@ func (s *Server) runStage(rc *reqCtx) {
 			}
 			cpu = rdLat + stageLat
 		}
-		s.requeue(rc, cpu, 0, false)
+		s.requeue(rc, StageCopy, cpu, 0, false)
 
 	case 2: // ULP processing (PlainHTTP jumps straight to stage 2 as TX)
 		if s.cfg.Mode == PlainHTTP {
@@ -319,7 +405,7 @@ func (s *Server) runStage(rc *reqCtx) {
 		rc.spans = res.DstSpans
 		rc.txBytes = res.TXBytes
 		rc.flushDst = res.DstFlushNeeded
-		s.requeue(rc, res.CPUPs, res.DevicePs, false)
+		s.requeue(rc, StageULP, res.CPUPs, res.DevicePs, false)
 
 	case 3: // transmission
 		s.transmit(rc, c.oconn.Dst, rc.txBytes, rc.spans)
@@ -374,9 +460,18 @@ func (s *Server) transmit(rc *reqCtx, base uint64, txBytes int, spans []offload.
 		s.requests++
 		s.txBytes += uint64(txBytes)
 		s.latSumPs += wireDone - rc.req.at
+		s.stagePs[StageTX] += cpu
+		s.stagePs[StageWire] += wireDone - wireStart
+	}
+	if s.tr != nil {
+		if cpu > 0 {
+			s.tr.Span(s.workerTracks[rc.worker], StageNames[StageTX], now, cpu)
+		}
+		s.tr.Span(s.nicTrack, "wire", wireStart, s.linkBusyPs-wireStart)
+		s.tr.AsyncEnd(s.reqTrack, "req", rc.req.seq, wireDone)
 	}
 	s.eng.At(now+cpu, func() {
-		s.idleWorkers++
+		s.freeWorkers = append(s.freeWorkers, rc.worker)
 		s.dispatch()
 	})
 	s.eng.At(wireDone, rc.req.done)
@@ -391,6 +486,7 @@ func (s *Server) BeginMeasurement() {
 	s.measureFrom = s.eng.Now()
 	s.memBase = s.cfg.Sys.MemoryBytesMoved()
 	s.cpuBusyPs, s.deviceBusyPs, s.requests, s.txBytes, s.latSumPs = 0, 0, 0, 0, 0
+	s.stagePs = [NumStages]int64{}
 }
 
 // Collect returns the metrics accumulated since BeginMeasurement.
@@ -403,6 +499,7 @@ func (s *Server) Collect() Metrics {
 		DeviceBusyPs: s.deviceBusyPs,
 		MemBytes:     s.cfg.Sys.MemoryBytesMoved() - s.memBase,
 		TXBytes:      s.txBytes,
+		StagePs:      s.stagePs,
 		Errors:       s.errors,
 	}
 	if elapsed > 0 {

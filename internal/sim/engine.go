@@ -7,6 +7,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // event is a scheduled callback. Events are pooled on a free list so
@@ -61,6 +63,11 @@ type Engine struct {
 	events eventHeap
 	free   []*event
 	ran    uint64
+
+	// Tracer, when set, records one coarse span per RunUntil window on
+	// the "engine" track. The per-event paths (At/Step/Cancel) are never
+	// instrumented — they are the 0-alloc hot core of the kernel.
+	Tracer *telemetry.Tracer
 }
 
 // NewEngine returns an engine at time zero.
@@ -145,6 +152,7 @@ func (e *Engine) Step() bool {
 // RunUntil processes events until the queue is empty or time exceeds
 // deadline. It returns the number of events processed.
 func (e *Engine) RunUntil(deadline int64) uint64 {
+	start := e.now
 	n := uint64(0)
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		if e.Step() {
@@ -153,6 +161,9 @@ func (e *Engine) RunUntil(deadline int64) uint64 {
 	}
 	if e.now < deadline {
 		e.now = deadline
+	}
+	if e.Tracer != nil && deadline > start {
+		e.Tracer.Span(e.Tracer.Track("engine"), "run", start, deadline-start)
 	}
 	return n
 }

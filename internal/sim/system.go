@@ -10,6 +10,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/memsys"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // SystemConfig assembles a full host: LLC, memory channels (the first
@@ -45,6 +46,12 @@ type SystemConfig struct {
 	// the plain DIMM site (dram.alert), and the controller's memctrl.crc
 	// site. Nil keeps every layer on its fast, fault-free path.
 	Faults *fault.Injector
+	// Tracer, when non-nil, threads span tracing through every layer of
+	// the assembled system — engine, per-rank controller, buffer device,
+	// and driver — exactly like Faults. It also hooks Faults.OnFire so
+	// fired injections land on the trace as instant events. Nil (the
+	// default) keeps every instrumented site on its one-compare path.
+	Tracer *telemetry.Tracer
 }
 
 // System is the assembled host model shared by the offload backends and
@@ -67,6 +74,11 @@ type System struct {
 	Drivers []*core.Driver
 	Meters  []*stats.BandwidthMeter
 	Ctls    []*memctrl.Controller
+
+	// Tracer is the span tracer every component of this system records
+	// to (nil when tracing is off). Callers that drive the system (the
+	// server model, the fleet, the CLIs) read it from here.
+	Tracer *telemetry.Tracer
 
 	// allocator for plain (non-SmartDIMM) buffer space: one or more
 	// page-granular regions (the upper half of each SmartDIMM rank, or
@@ -106,6 +118,18 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 
 	sys := &System{Params: cfg.Params, Engine: NewEngine()}
+	sys.Tracer = cfg.Tracer
+	sys.Engine.Tracer = cfg.Tracer
+	// Channel-0 fault sites (core.*, memctrl.crc, dram.alert) all fire on
+	// the DRAM-cycle clock; scale to picoseconds for the trace timeline.
+	tck := memctrl.DefaultConfig().Timing.TCKps
+	if cfg.Faults != nil && cfg.Tracer != nil {
+		tr := cfg.Tracer
+		faultTrack := tr.Track("faults")
+		cfg.Faults.OnFire = func(site string, _, now int64) {
+			tr.Instant(faultTrack, site, now*tck)
+		}
+	}
 	var chans []memsys.Channel
 
 	meter := &stats.BandwidthMeter{PeakBytesPerSec: 25.6e9} // DDR4-3200 x1
@@ -124,6 +148,13 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			dev.Faults = cfg.Faults
 			ctl := memctrl.New(memctrl.DefaultConfig(), dev)
 			ctl.Faults = cfg.Faults
+			if cfg.Tracer != nil {
+				ctl.Tracer = cfg.Tracer
+				ctl.TraceTrack = cfg.Tracer.Track(fmt.Sprintf("mem/rank%d", r))
+				dev.Tracer = cfg.Tracer
+				dev.TraceTrack = cfg.Tracer.Track(fmt.Sprintf("dev/rank%d", r))
+				dev.TraceCycPs = tck
+			}
 			// Every rank's channel gets its own bandwidth meter so fleet
 			// totals can be reported per device; channel 0 keeps the
 			// shared BWMeter so single-rank behaviour is unchanged.
@@ -153,6 +184,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		ctl := memctrl.New(memctrl.DefaultConfig(), d)
 		ctl.Meter = meter
 		ctl.Faults = cfg.Faults
+		if cfg.Tracer != nil {
+			ctl.Tracer = cfg.Tracer
+			ctl.TraceTrack = cfg.Tracer.Track("mem/plain")
+		}
 		sys.Meters = append(sys.Meters, meter)
 		sys.Ctls = append(sys.Ctls, ctl)
 		if cfg.TraceCAS > 0 {
@@ -181,6 +216,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		drv := core.NewDriver(hier, base, devCap, 1)
 		dev := sys.Devs[r]
 		drv.AbortProbe = func() uint64 { return dev.Stats().RecordAborts }
+		if cfg.Tracer != nil {
+			drv.Clock = sys.Engine.Now
+			drv.Tracer = cfg.Tracer
+			drv.TraceTrack = cfg.Tracer.Track(fmt.Sprintf("driver/rank%d", r))
+		}
 		sys.Drivers = append(sys.Drivers, drv)
 		// Plain buffers (page cache, connection buffers: the OS using
 		// SmartDIMM capacity as regular memory, Benefit B2) share each

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // Counter is a monotonically increasing event counter.
@@ -30,6 +32,11 @@ func (c *Counter) Value() uint64 { return c.n }
 
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n = 0 }
+
+// Collect implements telemetry.Collector.
+func (c *Counter) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "count", Value: float64(c.n)})
+}
 
 // Degradation counts graceful-degradation events on an offload path:
 // operations served by the primary placement, operations demoted to the
@@ -53,10 +60,17 @@ func (d *Degradation) FallbackRate() float64 {
 	return float64(d.FallbackOps) / float64(total)
 }
 
-// String renders the counters compactly for logs and figure footers.
-func (d *Degradation) String() string {
-	return fmt.Sprintf("primary=%d fallback=%d shortcircuit=%d opens=%d closes=%d injected=%d",
-		d.PrimaryOps, d.FallbackOps, d.ShortCircuits, d.Opens, d.Closes, d.InjectedFaults)
+// Collect implements telemetry.Collector; every path that previously
+// hand-formatted these counters now registers the ladder and prints
+// through telemetry.Registry.WriteText.
+func (d *Degradation) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "primary_ops", Value: float64(d.PrimaryOps)})
+	emit(telemetry.Sample{Name: "fallback_ops", Value: float64(d.FallbackOps)})
+	emit(telemetry.Sample{Name: "short_circuits", Value: float64(d.ShortCircuits)})
+	emit(telemetry.Sample{Name: "opens", Value: float64(d.Opens)})
+	emit(telemetry.Sample{Name: "closes", Value: float64(d.Closes)})
+	emit(telemetry.Sample{Name: "injected_faults", Value: float64(d.InjectedFaults)})
+	emit(telemetry.Sample{Name: "fallback_rate", Value: d.FallbackRate()})
 }
 
 // Gauge is a sampled instantaneous value that tracks its running
@@ -103,6 +117,14 @@ func (g *Gauge) Mean() float64 {
 
 // Samples returns how many times Set has been called.
 func (g *Gauge) Samples() uint64 { return g.samples }
+
+// Collect implements telemetry.Collector.
+func (g *Gauge) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "value", Value: g.cur})
+	emit(telemetry.Sample{Name: "min", Value: g.min})
+	emit(telemetry.Sample{Name: "max", Value: g.max})
+	emit(telemetry.Sample{Name: "mean", Value: g.Mean()})
+}
 
 // BandwidthMeter accumulates bytes transferred against simulated time and
 // reports utilization against a configured peak rate. Time is expressed in
@@ -194,6 +216,13 @@ func (m *BandwidthMeter) Merge(o *BandwidthMeter) {
 	}
 	m.bytes += o.bytes
 	m.windowBase += o.bytes
+}
+
+// Collect implements telemetry.Collector.
+func (m *BandwidthMeter) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "total_bytes", Value: float64(m.bytes)})
+	emit(telemetry.Sample{Name: "mean_bytes_per_sec", Value: m.MeanBytesPerSec()})
+	emit(telemetry.Sample{Name: "utilization", Value: m.Utilization()})
 }
 
 func ratePerSec(bytes uint64, ps int64) float64 {
@@ -300,6 +329,16 @@ func (h *Histogram) Max() float64 { return h.Percentile(100) }
 
 // Min returns the smallest sample, or 0 with no samples.
 func (h *Histogram) Min() float64 { return h.Percentile(0) }
+
+// Collect implements telemetry.Collector.
+func (h *Histogram) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "count", Value: float64(h.Count())})
+	emit(telemetry.Sample{Name: "mean", Value: h.Mean()})
+	emit(telemetry.Sample{Name: "p50", Value: h.Percentile(50)})
+	emit(telemetry.Sample{Name: "p95", Value: h.Percentile(95)})
+	emit(telemetry.Sample{Name: "p99", Value: h.Percentile(99)})
+	emit(telemetry.Sample{Name: "max", Value: h.Max()})
+}
 
 // Reset discards all samples.
 func (h *Histogram) Reset() {

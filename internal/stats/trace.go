@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // CASKind distinguishes the two column commands SmartDIMM observes.
@@ -76,6 +78,27 @@ func (t *CASTrace) Dump(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ExportTo emits the stored CAS events onto a trace as two cumulative
+// Perfetto counters (rdCAS/wrCAS on a "cas" track), so Fig. 9 data and
+// request spans land in one file. The text Dump format is unchanged —
+// ExportTo is an additional view over the same events.
+func (t *CASTrace) ExportTo(tr *telemetry.Tracer) {
+	if tr == nil || len(t.Events) == 0 {
+		return
+	}
+	track := tr.Track("cas")
+	var rd, wr float64
+	for _, ev := range t.Events {
+		if ev.Kind == RdCAS {
+			rd++
+			tr.Counter(track, "rdCAS", ev.AtPs, rd)
+		} else {
+			wr++
+			tr.Counter(track, "wrCAS", ev.AtPs, wr)
+		}
+	}
 }
 
 // MonotonicRunLengths returns, per core, the lengths of maximal runs of

@@ -1,0 +1,96 @@
+// Chrome/Perfetto trace_event export. The writer is deliberately
+// hand-rolled instead of encoding/json: field order, number formatting,
+// and line layout are then fixed by this file alone, which is what the
+// byte-identical-trace gate in ci.sh leans on. Timestamps convert from
+// simulated picoseconds to the format's microseconds as the exact
+// decimal "%d.%06d", so no float rounding can differ between runs.
+//
+// The output loads in ui.perfetto.dev and chrome://tracing: one process
+// ("pid" 1), one named thread track per Tracer track, spans as phase
+// "X", instants as "i", counters as "C", and request lifecycles as
+// async "b"/"e" pairs.
+
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePerfetto writes the whole trace as Perfetto trace_event JSON.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	_, err := w.Write(t.PerfettoJSON())
+	return err
+}
+
+// PerfettoJSON renders the trace; one event per line for diffability.
+func (t *Tracer) PerfettoJSON() []byte {
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[\n")
+	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"smartdimm-sim"}}`)
+	for i, name := range t.Tracks() {
+		tid := i + 1
+		fmt.Fprintf(&b, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":", tid)
+		quote(&b, name)
+		b.WriteString("}}")
+		fmt.Fprintf(&b, ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"sort_index\":%d}}", tid, tid)
+	}
+	for _, e := range t.Events() {
+		b.WriteString(",\n{\"name\":")
+		quote(&b, e.Name)
+		tid := int(e.Track) + 1
+		switch e.Kind {
+		case KindSpan:
+			fmt.Fprintf(&b, ",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":", tid)
+			writeTs(&b, e.AtPs)
+			b.WriteString(",\"dur\":")
+			writeTs(&b, e.DurPs)
+		case KindInstant:
+			fmt.Fprintf(&b, ",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":", tid)
+			writeTs(&b, e.AtPs)
+		case KindCounter:
+			fmt.Fprintf(&b, ",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":", tid)
+			writeTs(&b, e.AtPs)
+			b.WriteString(",\"args\":{\"value\":")
+			b.WriteString(strconv.FormatFloat(e.Value, 'g', -1, 64))
+			b.WriteString("}")
+		case KindAsyncBegin:
+			fmt.Fprintf(&b, ",\"cat\":\"req\",\"ph\":\"b\",\"id\":\"0x%x\",\"pid\":1,\"tid\":%d,\"ts\":", e.ID, tid)
+			writeTs(&b, e.AtPs)
+		case KindAsyncEnd:
+			fmt.Fprintf(&b, ",\"cat\":\"req\",\"ph\":\"e\",\"id\":\"0x%x\",\"pid\":1,\"tid\":%d,\"ts\":", e.ID, tid)
+			writeTs(&b, e.AtPs)
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("\n]}\n")
+	return b.Bytes()
+}
+
+// writeTs renders picoseconds as trace_event microseconds with exactly
+// six fractional digits (picosecond resolution), avoiding floats.
+func writeTs(b *bytes.Buffer, ps int64) {
+	fmt.Fprintf(b, "%d.%06d", ps/1_000_000, ps%1_000_000)
+}
+
+// quote writes s as a JSON string. Track and event names are
+// code-controlled ASCII, but escape the JSON metacharacters anyway so a
+// stray byte cannot corrupt the file.
+func quote(b *bytes.Buffer, s string) {
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(b, "\\u%04x", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}

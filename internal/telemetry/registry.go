@@ -1,0 +1,83 @@
+// The metrics registry: one named path through which every aggregate —
+// server metrics, device/driver/controller stats, fleet totals,
+// degradation ladders — reports, replacing per-command formatting code.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sample is one named point-in-time measurement.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Collector is anything that can report itself as samples. Aggregates
+// across the stack (stats.Degradation, core.DeviceStats, fleet totals,
+// server metrics, ...) implement it so commands print them all through
+// Registry.WriteText.
+type Collector interface {
+	Collect(emit func(Sample))
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(emit func(Sample))
+
+// Collect calls f.
+func (f CollectorFunc) Collect(emit func(Sample)) { f(emit) }
+
+// Registry holds named collectors in registration order, which is the
+// order Snapshot and WriteText report in — deterministic by
+// construction, no map iteration.
+type Registry struct {
+	prefixes []string
+	cs       []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector under a name prefix ("" for none). Sample
+// names become "prefix.name".
+func (r *Registry) Register(prefix string, c Collector) {
+	if r == nil || c == nil {
+		return
+	}
+	r.prefixes = append(r.prefixes, prefix)
+	r.cs = append(r.cs, c)
+}
+
+// Snapshot collects every registered collector once, in registration
+// order.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	var out []Sample
+	for i, c := range r.cs {
+		prefix := r.prefixes[i]
+		c.Collect(func(s Sample) {
+			if prefix != "" {
+				s.Name = prefix + "." + s.Name
+			}
+			out = append(out, s)
+		})
+	}
+	return out
+}
+
+// WriteText writes the snapshot as "name value" lines. Values format
+// with strconv 'g'/-1, the shortest representation that round-trips, so
+// the text export is byte-stable across runs.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, strconv.FormatFloat(s.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// A nil Tracer must absorb every call without panicking or allocating —
+// that is the whole zero-overhead-when-disabled contract.
+func TestNilTracerIsFreeAndSafe(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track("x")
+	if tk != 0 {
+		t.Fatalf("nil Track = %d, want 0", tk)
+	}
+	tr.Span(tk, "s", 0, 10)
+	tr.Instant(tk, "i", 5)
+	tr.Counter(tk, "c", 5, 1.5)
+	tr.AsyncBegin(tk, "a", 1, 0)
+	tr.AsyncEnd(tk, "a", 1, 10)
+	if tr.Enabled() || tr.Len() != 0 || tr.Events() != nil || tr.Tracks() != nil {
+		t.Fatal("nil tracer reported recorded state")
+	}
+	for _, fn := range map[string]func(){
+		"span":    func() { tr.Span(tk, "s", 0, 10) },
+		"instant": func() { tr.Instant(tk, "i", 5) },
+		"counter": func() { tr.Counter(tk, "c", 5, 1.5) },
+		"track":   func() { tr.Track("x") },
+	} {
+		if a := testing.AllocsPerRun(100, fn); a != 0 {
+			t.Fatalf("nil tracer allocates %v/op", a)
+		}
+	}
+}
+
+func TestTrackIdempotent(t *testing.T) {
+	tr := New()
+	a := tr.Track("engine")
+	b := tr.Track("mem")
+	if a2 := tr.Track("engine"); a2 != a {
+		t.Fatalf("Track(engine) = %d then %d", a, a2)
+	}
+	if a == b {
+		t.Fatal("distinct names share a TrackID")
+	}
+	if got := tr.Tracks(); len(got) != 2 || got[a] != "engine" || got[b] != "mem" {
+		t.Fatalf("Tracks() = %v", got)
+	}
+}
+
+func TestEventsRecordInEmissionOrder(t *testing.T) {
+	tr := New()
+	tk := tr.Track("t")
+	tr.Span(tk, "b", 20, 5)
+	tr.Span(tk, "a", 10, 5) // out of time order on purpose
+	tr.Instant(tk, "i", 1)
+	ev := tr.Events()
+	if len(ev) != 3 || ev[0].Name != "b" || ev[1].Name != "a" || ev[2].Name != "i" {
+		t.Fatalf("events reordered: %+v", ev)
+	}
+}
+
+// The golden file pins the exporter's byte layout: every Perfetto phase
+// the simulator emits, metadata tracks, the ps→µs timestamp format, and
+// name escaping. Regenerate with `go test ./internal/telemetry/ -run
+// TestPerfettoGolden -update` and eyeball the diff.
+func TestPerfettoGolden(t *testing.T) {
+	tr := New()
+	eng := tr.Track("engine")
+	mem := tr.Track("mem/rank0")
+	tr.Span(eng, "run", 0, 2_000_000)
+	tr.Span(mem, "drain", 1_234_567, 89_012)
+	tr.Instant(mem, "ALERT_N", 1_500_000)
+	tr.Counter(mem, "rdCAS", 2_000_000, 3)
+	tr.AsyncBegin(eng, "req", 42, 100)
+	tr.AsyncEnd(eng, "req", 42, 1_999_900)
+	tr.Instant(eng, "quote\"back\\slash", 7)
+
+	got := tr.PerfettoJSON()
+	path := filepath.Join("testdata", "golden.trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace JSON diverged from golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Same events in, same bytes out — the exporter has no hidden state.
+func TestPerfettoReproducible(t *testing.T) {
+	build := func() []byte {
+		tr := New()
+		a := tr.Track("a")
+		for i := int64(0); i < 100; i++ {
+			tr.Span(a, "s", i*10, 5)
+			tr.Counter(a, "c", i*10, float64(i)/3)
+		}
+		return tr.PerfettoJSON()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("two identical builds exported different bytes")
+	}
+}
+
+func TestRegistryOrderAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Register("b", CollectorFunc(func(emit func(Sample)) {
+		emit(Sample{Name: "z", Value: 1})
+		emit(Sample{Name: "a", Value: 0.5})
+	}))
+	r.Register("", CollectorFunc(func(emit func(Sample)) {
+		emit(Sample{Name: "bare", Value: 3})
+	}))
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "b.z" || snap[1].Name != "b.a" || snap[2].Name != "bare" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "b.z 1\nb.a 0.5\nbare 3\n"
+	if buf.String() != want {
+		t.Fatalf("WriteText = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Register("x", CollectorFunc(func(func(Sample)) {}))
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry produced samples")
+	}
+}
