@@ -20,12 +20,34 @@
 #                     tracing under the parallel runner) under -race
 #   6. golden trace — the Perfetto exporter against its committed golden
 #                     file plus the full-stack byte-reproducibility gate
-#   7. go test      — the full suite with a shuffled test order: the
+#   7. tracestat golden — the trace analyzers (profile tree, critical
+#                     path) against their committed golden table, plus
+#                     the serial/pooled/GOMAXPROCS=2 byte-identity gate
+#                     and the `go tool pprof` acceptance check
+#   8. KPI bench    — the pinned deterministic scenarios from
+#                     internal/profile, gated against BENCH_baseline.json
+#                     (writes BENCH_results.json); re-pin an intended
+#                     change with `go run ./cmd/tracestat -bench
+#                     -update-baseline`
+#   9. go test      — the full suite with a shuffled test order: the
 #                     serial-vs-parallel sweep determinism gate plus the
 #                     full 200-schedule chaos soak, and -shuffle guards
 #                     against inter-test state leaking into results
+#
+# `./ci.sh bench` runs only the KPI bench stage — the quick loop while
+# tuning performance.
 set -eu
 cd "$(dirname "$0")"
+
+run_bench() {
+	echo "== KPI bench gate (BENCH_baseline.json, results in BENCH_results.json)"
+	go run ./cmd/tracestat -bench -baseline BENCH_baseline.json -out BENCH_results.json
+}
+
+if [ "${1:-}" = "bench" ]; then
+	run_bench
+	exit 0
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -47,6 +69,12 @@ go test -race ./internal/runner/ ./internal/sim/ ./internal/offload/ ./internal/
 
 echo "== golden Perfetto trace"
 go test -run 'TestPerfettoGolden|TestFullStackTraceReproducible' ./internal/telemetry/
+
+echo "== tracestat golden output"
+go test -run 'TestCritPathGolden|TestTracestatByteIdenticalAcrossSchedulers' ./internal/experiments/
+go test -run 'TestGoToolPprofAcceptsExport' ./internal/profile/
+
+run_bench
 
 echo "== go test -shuffle=on ./..."
 go test -shuffle=on ./...

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,breakdown); empty = all (2b, scale, breakdown excluded)")
+	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,breakdown,critpath); empty = all (2b, scale, breakdown, critpath excluded)")
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
@@ -65,6 +65,9 @@ func main() {
 	}
 	if *fig == "breakdown" {
 		figBreakdown(pool, sc)
+	}
+	if *fig == "critpath" {
+		figCritPath(pool, sc)
 	}
 	if run(3) {
 		fig3(pool, sc)
@@ -153,6 +156,21 @@ func figBreakdown(pool *runner.Pool, sc experiments.Scale) {
 			fmt.Printf(" %10.1f", s)
 		}
 		fmt.Printf(" %12.1f\n", float64(r.Metrics.MeanLatPs)/float64(sim.Us))
+	}
+	fmt.Println()
+}
+
+func figCritPath(pool *runner.Pool, sc experiments.Scale) {
+	fmt.Println("=== Critical-path stage shares: Nginx TLS, 16KB messages (trace-derived) ===")
+	fmt.Println("model: per-request blocking attribution from the Perfetto event stream —")
+	fmt.Println("       the trace-side counterpart of -fig breakdown. SmartDIMM's copy share")
+	fmt.Println("       is 0: inline page cache, no copy spans exist to block on")
+	rows, err := experiments.CritPathBreakdown(pool, sc, server.HTTPSMode, 16384)
+	if err != nil {
+		fail(err)
+	}
+	if err := experiments.WriteCritPathTable(os.Stdout, rows); err != nil {
+		fail(err)
 	}
 	fmt.Println()
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fleet"
 	"repro/internal/offload"
+	"repro/internal/profile"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -55,6 +56,7 @@ type cliConfig struct {
 	seed      int64
 	tracePath string
 	metrics   bool
+	profile   bool
 }
 
 func main() {
@@ -74,6 +76,7 @@ func main() {
 	par := flag.Int("parallel", 0, "concurrent sweep runs (0 = GOMAXPROCS, 1 = serial)")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (single-point sweeps only)")
 	metrics := flag.Bool("metrics", false, "append the full metrics registry (name value lines) to the report")
+	prof := flag.Bool("profile", false, "append the simulated-time profile tree and critical-path table to the report (traces the run internally)")
 	flag.Parse()
 
 	kind, err := parseKind(*kindName)
@@ -96,7 +99,7 @@ func main() {
 		placement: strings.ToLower(*placement), ulpName: strings.ToLower(*ulpName),
 		workers: *workers, devices: *devices, llc: *llc, ways: *ways, kind: kind,
 		warmupMs: *warmupMs, measureMs: *measureMs, seed: *seed,
-		tracePath: *tracePath, metrics: *metrics,
+		tracePath: *tracePath, metrics: *metrics, profile: *prof,
 	}
 
 	type point struct{ msg, conns int }
@@ -153,7 +156,9 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 	}
 	var tracer *telemetry.Tracer
 	traceCAS := 0
-	if cfg.tracePath != "" {
+	if cfg.tracePath != "" || cfg.profile {
+		// -profile analyzes the same event stream a -trace run records,
+		// so both flags thread a tracer through the system.
 		tracer = telemetry.New()
 		// A traced run also records the channel-0 CAS stream so the
 		// Perfetto counter track has data.
@@ -268,13 +273,7 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 	if cfg.metrics {
 		reg := telemetry.NewRegistry()
 		reg.Register("server", m)
-		if sys.Dev != nil {
-			reg.Register("dev", sys.Dev.Stats())
-			reg.Register("driver", sys.Driver.Stats())
-		}
-		for r, ctl := range sys.Ctls {
-			reg.Register(fmt.Sprintf("mem.rank%d", r), ctl.Stats())
-		}
+		sys.RegisterMetrics(reg)
 		if fl != nil {
 			reg.Register("fleet", fl.Totals())
 		}
@@ -283,10 +282,22 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 			return "", err
 		}
 	}
-	if tracer != nil {
-		if sys.Trace != nil {
-			sys.Trace.ExportTo(tracer)
+	if tracer != nil && sys.Trace != nil {
+		sys.Trace.ExportTo(tracer)
+	}
+	if cfg.profile {
+		p := profile.FromTracer(tracer)
+		fmt.Fprintf(&b, "--- profile ---\n")
+		if err := p.WriteTree(&b); err != nil {
+			return "", err
 		}
+		cp := profile.AnalyzeTracer(tracer, profile.Options{FromPs: warmup})
+		fmt.Fprintf(&b, "--- critical path ---\n")
+		if err := cp.WriteTable(&b); err != nil {
+			return "", err
+		}
+	}
+	if cfg.tracePath != "" {
 		f, err := os.Create(cfg.tracePath)
 		if err != nil {
 			return "", err

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/offload"
+	"repro/internal/profile"
+	"repro/internal/runner"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/wrkgen"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// critScale keeps the traced four-placement sweep fast.
+func critScale() Scale {
+	return Scale{
+		Connections: 32, Workers: 2,
+		WarmupPs: sim.Ms / 2, MeasurePs: sim.Ms,
+		LLCBytes: 128 << 10, LLCWays: 8,
+	}
+}
+
+// The rendered critical-path table is pinned byte-for-byte: trace
+// emission, request pairing, stage attribution, and formatting all sit
+// under this one golden. Regenerate with
+// `go test ./internal/experiments/ -run TestCritPathGolden -update`.
+func TestCritPathGolden(t *testing.T) {
+	rows, err := CritPathBreakdown(nil, critScale(), server.HTTPSMode, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCritPathTable(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(b.String())
+
+	path := filepath.Join("testdata", "critpath.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("critical-path table diverged from golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The headline claim must hold in the golden itself: SmartDIMM's
+	// copy share is zero while CPU's is not.
+	var cpu, dimm *CritPathRow
+	for i := range rows {
+		switch rows[i].Placement {
+		case PlaceCPU:
+			cpu = &rows[i]
+		case PlaceSmartDIMM:
+			dimm = &rows[i]
+		}
+	}
+	if cpu == nil || dimm == nil {
+		t.Fatal("missing placements")
+	}
+	if dimm.ShareOf("copy") != 0 {
+		t.Fatalf("SmartDIMM copy share = %.2f%%, want 0", dimm.ShareOf("copy"))
+	}
+	if cpu.ShareOf("copy") <= 0 {
+		t.Fatalf("CPU copy share = %.2f%%, want > 0", cpu.ShareOf("copy"))
+	}
+}
+
+// tracedRun is the pinned single-run scenario behind the cross-scheduler
+// gate: one SmartDIMM serving window, traced, exported as Perfetto JSON.
+func tracedRun(t *testing.T) []byte {
+	t.Helper()
+	tr := telemetry.New()
+	sys, err := sim.NewSystem(sim.SystemConfig{
+		Params: sim.DefaultParams(), LLCBytes: 512 << 10, LLCWays: 8,
+		WithSmartDIMM: true, Tracer: tr, TraceCAS: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(sys.Engine, server.Config{
+		Sys: sys, Backend: &offload.SmartDIMM{Sys: sys}, Mode: server.HTTPSMode,
+		Workers: 4, MsgSize: 4096, Connections: 32, FileKind: corpus.Text, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := wrkgen.New(sys.Engine, srv, wrkgen.Config{
+		Connections: 32, ThinkPs: int64(sys.Params.RTTUs * float64(sim.Us)),
+	})
+	gen.Start()
+	sys.Engine.RunUntil(1 * sim.Ms)
+	srv.BeginMeasurement()
+	sys.Engine.RunUntil(3 * sim.Ms)
+	sys.Trace.ExportTo(tr)
+	return tr.PerfettoJSON()
+}
+
+// analyzeTrace runs a trace through the exact path cmd/tracestat takes:
+// Perfetto JSON in, profile tree + critical-path table text out.
+func analyzeTrace(t *testing.T, trace []byte) string {
+	t.Helper()
+	tracks, events, err := profile.ReadPerfetto(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := profile.FromEvents(tracks, events).WriteTree(&b); err != nil {
+		t.Fatal(err)
+	}
+	cp := profile.Analyze(tracks, events, profile.Options{FromPs: 1 * sim.Ms})
+	if err := cp.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.WriteWaterfall(&b, 3); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// The acceptance gate: the same-seed run must yield byte-identical
+// profile text and critical-path tables whether the simulation ran
+// serially, fanned through the runner pool, or under GOMAXPROCS=2.
+func TestTracestatByteIdenticalAcrossSchedulers(t *testing.T) {
+	serial := analyzeTrace(t, tracedRun(t))
+	if !strings.Contains(serial, "simulated-time profile") || !strings.Contains(serial, "critical path:") {
+		t.Fatalf("analysis output malformed:\n%.400s", serial)
+	}
+
+	// Through the pool: the traced run executes on a pool worker.
+	pool := runner.New(0)
+	pooled, err := runner.Map(context.Background(), pool, []int{0, 1},
+		func(context.Context, int, int) (string, error) {
+			return analyzeTrace(t, tracedRun(t)), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range pooled {
+		if got != serial {
+			t.Fatalf("pooled run %d diverged from serial analysis", i)
+		}
+	}
+
+	// Under a constrained scheduler.
+	prev := runtime.GOMAXPROCS(2)
+	constrained := analyzeTrace(t, tracedRun(t))
+	runtime.GOMAXPROCS(prev)
+	if constrained != serial {
+		t.Fatal("GOMAXPROCS=2 run diverged from serial analysis")
+	}
+}

@@ -276,6 +276,9 @@ func New(cfg Config) (*Fleet, error) {
 		if i < len(cfg.Sys.Ctls) {
 			m.ctl = cfg.Sys.Ctls[i]
 		}
+		// Fleet service-time sketches live for the whole run at fleet
+		// request rates: bounded mode keeps their memory flat.
+		m.ServicePs.SetBounded()
 		f.members = append(f.members, m)
 	}
 	f.soft = &offload.SmartDIMM{Sys: cfg.Sys, Soft: true}

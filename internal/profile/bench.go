@@ -1,0 +1,244 @@
+// The KPI regression harness behind `./ci.sh bench`. It runs a small
+// set of pinned, fully deterministic serving scenarios — same seed,
+// same calibration, chaos off — extracts the KPIs the paper's
+// evaluation argues about (throughput, tail latency, host cycles per
+// transmitted byte, memory bandwidth), and compares them against the
+// committed baseline in BENCH_baseline.json. Because the simulator is
+// deterministic, an unchanged tree reproduces the baseline to the last
+// bit; the tolerance exists so intentional calibration tweaks within a
+// band don't trip the gate, while a real regression (a slowed hot path,
+// a scheduling bug, an accounting error) does.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+	"repro/internal/offload"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/wrkgen"
+)
+
+// BenchScenario pins one deterministic serving run.
+type BenchScenario struct {
+	Name      string      `json:"name"`
+	Placement string      `json:"placement"` // cpu | smartdimm | a fleet policy
+	Devices   int         `json:"devices"`   // SmartDIMM ranks (fleet when > 1)
+	ULP       string      `json:"ulp"`       // tls | compression
+	Msg       int         `json:"msg"`
+	Conns     int         `json:"conns"`
+	Workers   int         `json:"workers"`
+	Seed      int64       `json:"seed"`
+	WarmupPs  int64       `json:"warmup_ps"`
+	MeasurePs int64       `json:"measure_ps"`
+	Params    *sim.Params `json:"-"` // calibration override; nil = DefaultParams
+}
+
+// BenchResult carries one scenario's extracted KPIs. The map marshals
+// with sorted keys, so the JSON report is byte-deterministic.
+type BenchResult struct {
+	Name string             `json:"name"`
+	KPIs map[string]float64 `json:"kpis"`
+}
+
+// BenchReport is the whole harness output (BENCH_results.json /
+// BENCH_baseline.json).
+type BenchReport struct {
+	Scenarios []BenchResult `json:"scenarios"`
+}
+
+// DefaultBenchScenarios are the pinned regression scenarios: the
+// single-device SmartDIMM placement, the 4-rank sharded fleet, and the
+// all-CPU baseline the paper compares against. Windows are short — the
+// gate needs stable KPIs, not converged steady state, and determinism
+// makes short windows exactly reproducible.
+func DefaultBenchScenarios() []BenchScenario {
+	return []BenchScenario{
+		{Name: "smartdimm-1dev", Placement: "smartdimm", Devices: 1, ULP: "tls",
+			Msg: 4096, Conns: 64, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
+		{Name: "fleet-4rank", Placement: "rr", Devices: 4, ULP: "tls",
+			Msg: 4096, Conns: 128, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
+		{Name: "cpu-baseline", Placement: "cpu", Devices: 1, ULP: "tls",
+			Msg: 4096, Conns: 64, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
+	}
+}
+
+// RunBenchScenario builds a fresh system and runs one closed-loop
+// measurement, returning the scenario's KPIs.
+func RunBenchScenario(sc BenchScenario) (BenchResult, error) {
+	res := BenchResult{Name: sc.Name}
+	params := sim.DefaultParams()
+	if sc.Params != nil {
+		params = *sc.Params
+	}
+
+	pol, polErr := fleet.ParsePolicy(sc.Placement)
+	isFleet := polErr == nil
+	if sc.Devices > 1 && !isFleet {
+		return res, fmt.Errorf("scenario %s: %d devices needs a fleet policy placement", sc.Name, sc.Devices)
+	}
+	withDIMM := sc.Placement == "smartdimm" || isFleet
+	ranks := 0
+	if isFleet {
+		ranks = sc.Devices
+	}
+	sys, err := sim.NewSystem(sim.SystemConfig{
+		Params: params, LLCBytes: 2 << 20, LLCWays: 8,
+		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
+		WithSmartDIMM:  withDIMM,
+		SmartDIMMRanks: ranks,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	var backend offload.Backend
+	switch {
+	case isFleet:
+		fl, err := fleet.New(fleet.Config{Sys: sys, Policy: pol})
+		if err != nil {
+			return res, err
+		}
+		backend = fl
+	case sc.Placement == "cpu":
+		backend = &offload.CPU{Sys: sys}
+	case sc.Placement == "smartdimm":
+		backend = &offload.SmartDIMM{Sys: sys}
+	default:
+		return res, fmt.Errorf("scenario %s: unknown placement %q", sc.Name, sc.Placement)
+	}
+
+	mode := server.HTTPSMode
+	if sc.ULP == "compression" {
+		mode = server.CompressedHTTP
+	}
+	srv, err := server.New(sys.Engine, server.Config{
+		Sys: sys, Backend: backend, Mode: mode, Workers: sc.Workers,
+		MsgSize: sc.Msg, Connections: sc.Conns, FileKind: corpus.Text, Seed: sc.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	gen := wrkgen.New(sys.Engine, srv, wrkgen.Config{
+		Connections: sc.Conns,
+		ThinkPs:     int64(sys.Params.RTTUs * float64(sim.Us)),
+	})
+	gen.Start()
+	sys.Engine.RunUntil(sc.WarmupPs)
+	srv.BeginMeasurement()
+	gen.BeginMeasurement()
+	sys.Engine.RunUntil(sc.WarmupPs + sc.MeasurePs)
+	m := srv.Collect()
+	if err := srv.LastError(); err != nil {
+		return res, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+
+	cyclesPerByte := 0.0
+	if m.TXBytes > 0 {
+		// ps → cycles: cycles = ps * GHz / 1000.
+		cyclesPerByte = float64(m.CPUBusyPs) * params.CPUClockGHz / 1000 / float64(m.TXBytes)
+	}
+	res.KPIs = map[string]float64{
+		"requests":        float64(m.Requests),
+		"rps":             m.RPS,
+		"mean_lat_ps":     float64(m.MeanLatPs),
+		"p99_lat_ps":      m.Latency.Percentile(99),
+		"cycles_per_byte": cyclesPerByte,
+		"mem_bw_gbps":     m.MemBWGBps,
+	}
+	return res, nil
+}
+
+// RunBench runs every scenario in order.
+func RunBench(scenarios []BenchScenario) (*BenchReport, error) {
+	rep := &BenchReport{}
+	for _, sc := range scenarios {
+		r, err := RunBenchScenario(sc)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, r)
+	}
+	return rep, nil
+}
+
+// MarshalBench renders a report as stable, committed-diff-friendly
+// JSON: scenarios in run order, KPI keys sorted (map marshaling sorts),
+// trailing newline.
+func MarshalBench(rep *BenchReport) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// UnmarshalBench parses a committed report.
+func UnmarshalBench(data []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Drift is one KPI that moved beyond tolerance (or vanished).
+type Drift struct {
+	Scenario string
+	KPI      string
+	Base     float64
+	Got      float64
+	Rel      float64 // |got-base| / max(|base|, epsilon); +Inf when missing
+}
+
+func (d Drift) String() string {
+	return fmt.Sprintf("%s/%s: baseline %g, got %g (drift %.2f%%)",
+		d.Scenario, d.KPI, d.Base, d.Got, d.Rel*100)
+}
+
+// CompareBench checks a fresh report against the baseline: every
+// baseline scenario and KPI must be present and within rel tolerance.
+// New scenarios/KPIs in got (not yet in the baseline) are not drifts —
+// they appear once the baseline is re-pinned with -update-baseline.
+func CompareBench(base, got *BenchReport, tol float64) []Drift {
+	byName := map[string]BenchResult{}
+	for _, r := range got.Scenarios {
+		byName[r.Name] = r
+	}
+	var drifts []Drift
+	for _, b := range base.Scenarios {
+		g, ok := byName[b.Name]
+		if !ok {
+			drifts = append(drifts, Drift{Scenario: b.Name, KPI: "(scenario)", Rel: math.Inf(1)})
+			continue
+		}
+		names := make([]string, 0, len(b.KPIs))
+		for k := range b.KPIs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			bv := b.KPIs[k]
+			gv, ok := g.KPIs[k]
+			if !ok {
+				drifts = append(drifts, Drift{Scenario: b.Name, KPI: k, Base: bv, Rel: math.Inf(1)})
+				continue
+			}
+			denom := math.Abs(bv)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			rel := math.Abs(gv-bv) / denom
+			if rel > tol {
+				drifts = append(drifts, Drift{Scenario: b.Name, KPI: k, Base: bv, Got: gv, Rel: rel})
+			}
+		}
+	}
+	return drifts
+}

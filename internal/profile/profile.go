@@ -1,0 +1,320 @@
+// Package profile turns the telemetry layer's raw event stream into
+// answers: a hierarchical simulated-time profile (where do the
+// picoseconds go, per component), a critical-path analysis over request
+// lifecycles (what bounds end-to-end latency), and the KPI extraction
+// behind the regression gate in ci.sh. It consumes traces the existing
+// instrumentation already emits — no component is re-instrumented.
+//
+// The profile is an occupancy profile in simulated time: every span on
+// every track contributes its duration to the component stack it ran
+// on (track path segments, then nested span names), exactly like CPU
+// samples attribute to call stacks across cores. Totals summed over
+// sibling components can therefore exceed the traced wall-clock window —
+// ten busy workers accumulate ten seconds per simulated second, which is
+// the point: the tree shows each component's busy time, and the
+// critical-path analyzer (critpath.go) answers the serial-latency
+// question instead.
+//
+// Everything here is deterministic: child order is sorted (total
+// descending, name ascending as the tie-break), all arithmetic is
+// integer picoseconds, and no map iteration order reaches any output
+// path — the same trace renders to byte-identical text on any
+// GOMAXPROCS, matching the telemetry layer's reproducibility contract.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// Node is one component in the attribution tree.
+type Node struct {
+	Name string
+	// TotalPs is the simulated time attributed to this node and its
+	// descendants; SelfPs excludes time covered by nested child spans.
+	TotalPs int64
+	SelfPs  int64
+	// Count is the number of span and instant events recorded directly
+	// at this node.
+	Count int64
+	// Children are sorted by TotalPs descending, then Name ascending,
+	// once the tree is sealed (FromEvents does this before returning).
+	Children []*Node
+
+	index    map[string]int
+	hasSpans bool
+}
+
+// child returns (creating on demand) the named child.
+func (n *Node) child(name string) *Node {
+	if n.index == nil {
+		n.index = map[string]int{}
+	}
+	if i, ok := n.index[name]; ok {
+		return n.Children[i]
+	}
+	c := &Node{Name: name}
+	n.index[name] = len(n.Children)
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Profile is the hierarchical simulated-time profile of one trace.
+type Profile struct {
+	Root *Node // Name "", TotalPs = summed track occupancy
+	// EndPs is the trace's end timestamp: the latest instant any event
+	// covers. It is the denominator for per-track utilization.
+	EndPs    int64
+	Tracks   int
+	Spans    int
+	Instants int
+}
+
+// FromTracer profiles a live Tracer's recorded events.
+func FromTracer(tr *telemetry.Tracer) *Profile {
+	return FromEvents(tr.Tracks(), tr.Events())
+}
+
+// trackSpan is one span event on a track, tagged with its emission
+// index so sorting is total (and therefore deterministic).
+type trackSpan struct {
+	at, end int64
+	name    string
+	emit    int
+}
+
+// FromEvents builds the profile from a track table and an event stream
+// in emission order (the shape telemetry.Tracer exposes and the Perfetto
+// reader reconstructs).
+//
+// Attribution: a span lands on the stack [track path segments..., its
+// own name], where the track name splits on "/" ("mem/rank0" becomes
+// mem → rank0). Spans nested inside another span on the same track
+// (device CompCpy inside a controller drain window, if a layer emits
+// both) extend the stack with the enclosing span names; partially
+// overlapping spans are treated as siblings. A node's SelfPs is its
+// span time minus its children's — the flush of a drain window that
+// isn't accounted to any finer stage stays with the drain. Instants
+// contribute Count only; counters carry values, not time, and are
+// ignored here.
+func FromEvents(tracks []string, events []telemetry.Event) *Profile {
+	p := &Profile{Root: &Node{}, Tracks: len(tracks)}
+
+	perTrack := make([][]trackSpan, len(tracks))
+	for i, e := range events {
+		at := e.AtPs
+		if e.Kind == telemetry.KindSpan {
+			at += e.DurPs
+		}
+		if at > p.EndPs {
+			p.EndPs = at
+		}
+		if int(e.Track) >= len(tracks) {
+			continue // foreign event; nothing to attribute it to
+		}
+		switch e.Kind {
+		case telemetry.KindSpan:
+			p.Spans++
+			perTrack[e.Track] = append(perTrack[e.Track],
+				trackSpan{at: e.AtPs, end: e.AtPs + e.DurPs, name: e.Name, emit: i})
+		case telemetry.KindInstant:
+			p.Instants++
+			n := p.trackNode(tracks[e.Track]).child(e.Name)
+			n.Count++
+		}
+	}
+
+	for t, spans := range perTrack {
+		if len(spans) == 0 {
+			continue
+		}
+		base := p.trackNode(tracks[t])
+		sort.Slice(spans, func(a, b int) bool {
+			if spans[a].at != spans[b].at {
+				return spans[a].at < spans[b].at
+			}
+			if spans[a].end != spans[b].end {
+				return spans[a].end > spans[b].end // enclosing span first
+			}
+			return spans[a].emit < spans[b].emit
+		})
+		type open struct {
+			end  int64
+			node *Node
+		}
+		var stack []open
+		for _, s := range spans {
+			// Unwind spans that ended before this one starts, and any
+			// that only partially overlap (not containable).
+			for len(stack) > 0 && (stack[len(stack)-1].end <= s.at || s.end > stack[len(stack)-1].end) {
+				stack = stack[:len(stack)-1]
+			}
+			parent := base
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1].node
+			}
+			n := parent.child(s.name)
+			n.hasSpans = true
+			n.Count++
+			n.TotalPs += s.end - s.at
+			stack = append(stack, open{end: s.end, node: n})
+		}
+	}
+
+	seal(p.Root)
+	return p
+}
+
+// trackNode returns the node for a track path, creating the chain.
+func (p *Profile) trackNode(track string) *Node {
+	n := p.Root
+	for _, seg := range strings.Split(track, "/") {
+		n = n.child(seg)
+	}
+	return n
+}
+
+// seal finishes a subtree: structural nodes (no spans of their own) sum
+// their children, span nodes subtract child time from their own to get
+// SelfPs, and children sort into the deterministic display order.
+func seal(n *Node) {
+	var childSum int64
+	for _, c := range n.Children {
+		seal(c)
+		childSum += c.TotalPs
+	}
+	if n.hasSpans {
+		n.SelfPs = n.TotalPs - childSum
+		if n.SelfPs < 0 { // partial-overlap attribution slack
+			n.SelfPs = 0
+		}
+	} else {
+		n.TotalPs = childSum
+	}
+	sort.SliceStable(n.Children, func(a, b int) bool {
+		if n.Children[a].TotalPs != n.Children[b].TotalPs {
+			return n.Children[a].TotalPs > n.Children[b].TotalPs
+		}
+		return n.Children[a].Name < n.Children[b].Name
+	})
+}
+
+// fmtPs renders picoseconds as a fixed-precision human quantity. The
+// format is part of the golden-file contract: integer arithmetic in,
+// deterministic text out.
+func fmtPs(ps int64) string {
+	switch {
+	case ps >= 1_000_000_000:
+		return fmt.Sprintf("%d.%03dms", ps/1_000_000_000, (ps%1_000_000_000)/1_000_000)
+	case ps >= 1_000_000:
+		return fmt.Sprintf("%d.%03dus", ps/1_000_000, (ps%1_000_000)/1_000)
+	case ps >= 1_000:
+		return fmt.Sprintf("%d.%03dns", ps/1_000, ps%1_000)
+	default:
+		return fmt.Sprintf("%dps", ps)
+	}
+}
+
+// pct renders value/total as a percentage with one decimal.
+func pct(v, total int64) string {
+	if total <= 0 {
+		return "0.0"
+	}
+	// one-decimal fixed point in integer arithmetic: round half up
+	t := (v*2000/total + 1) / 2
+	return fmt.Sprintf("%d.%d", t/10, t%10)
+}
+
+// WriteTree renders the hierarchical profile as a deterministic text
+// tree: per node, total and self simulated time, event count, and the
+// share of summed occupancy.
+func (p *Profile) WriteTree(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "simulated-time profile: traced %s, %d tracks, %d spans, %d instants\n",
+		fmtPs(p.EndPs), p.Tracks, p.Spans, p.Instants); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s %8s %12s %8s  %s\n", "total", "tot%", "self", "count", "component"); err != nil {
+		return err
+	}
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		for _, c := range n.Children {
+			self := "."
+			if c.SelfPs > 0 {
+				self = fmtPs(c.SelfPs)
+			}
+			if _, err := fmt.Fprintf(w, "%12s %8s %12s %8d  %s%s\n",
+				fmtPs(c.TotalPs), pct(c.TotalPs, p.Root.TotalPs), self, c.Count,
+				strings.Repeat("  ", depth), c.Name); err != nil {
+				return err
+			}
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(p.Root, 0)
+}
+
+// flatRow is one leaf-attribution row of the flat view.
+type flatRow struct {
+	path   string
+	selfPs int64
+	count  int64
+}
+
+// flatten collects every node with self time or events into rows.
+func (p *Profile) flatten() []flatRow {
+	var rows []flatRow
+	var walk func(n *Node, prefix string)
+	walk = func(n *Node, prefix string) {
+		for _, c := range n.Children {
+			path := c.Name
+			if prefix != "" {
+				path = prefix + "/" + c.Name
+			}
+			if c.SelfPs > 0 || (c.Count > 0 && len(c.Children) == 0) {
+				rows = append(rows, flatRow{path: path, selfPs: c.SelfPs, count: c.Count})
+			}
+			walk(c, path)
+		}
+	}
+	walk(p.Root, "")
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].selfPs != rows[b].selfPs {
+			return rows[a].selfPs > rows[b].selfPs
+		}
+		return rows[a].path < rows[b].path
+	})
+	return rows
+}
+
+// WriteTop renders the flat self-time view, pprof-top style: the n
+// hottest attribution paths by self simulated time (0 = all).
+func (p *Profile) WriteTop(w io.Writer, n int) error {
+	rows := p.flatten()
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	if _, err := fmt.Fprintf(w, "%12s %8s %8s %8s  %s\n", "self", "self%", "cum%", "count", "component"); err != nil {
+		return err
+	}
+	var cum int64
+	for _, r := range rows {
+		cum += r.selfPs
+		self := "."
+		if r.selfPs > 0 {
+			self = fmtPs(r.selfPs)
+		}
+		if _, err := fmt.Fprintf(w, "%12s %8s %8s %8d  %s\n",
+			self, pct(r.selfPs, p.Root.TotalPs), pct(cum, p.Root.TotalPs), r.count, r.path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/offload"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -98,6 +99,11 @@ type Metrics struct {
 	TXBytes      uint64
 	MeanLatPs    int64
 	DeviceBusyPs int64
+	// Latency is the per-request end-to-end latency record (submit to
+	// last wire byte, in picoseconds) over the measured window. It runs
+	// in the bounded log2-bucketed mode so long windows at fleet request
+	// rates keep fixed memory; Min/Max/Mean stay exact.
+	Latency stats.Histogram
 	// StagePs sums each pipeline stage's duration over measured
 	// requests (worker occupancy for parse/copy/ulp/tx, link occupancy
 	// for wire) — the per-stage latency breakdown of -fig breakdown.
@@ -119,6 +125,8 @@ func (m Metrics) Collect(emit func(telemetry.Sample)) {
 	emit(telemetry.Sample{Name: "mem_bw_gbps", Value: m.MemBWGBps})
 	emit(telemetry.Sample{Name: "tx_bytes", Value: float64(m.TXBytes)})
 	emit(telemetry.Sample{Name: "mean_lat_ps", Value: float64(m.MeanLatPs)})
+	emit(telemetry.Sample{Name: "p50_lat_ps", Value: m.Latency.Percentile(50)})
+	emit(telemetry.Sample{Name: "p99_lat_ps", Value: m.Latency.Percentile(99)})
 	emit(telemetry.Sample{Name: "device_busy_ps", Value: float64(m.DeviceBusyPs)})
 	for i, ps := range m.StagePs {
 		emit(telemetry.Sample{Name: "stage_ps." + StageNames[i], Value: float64(ps)})
@@ -159,6 +167,7 @@ type Server struct {
 	requests     uint64
 	txBytes      uint64
 	latSumPs     int64
+	latency      stats.Histogram // bounded; per-request end-to-end ps
 	stagePs      [NumStages]int64
 	errors       uint64
 	lastErr      error
@@ -188,6 +197,7 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 		cfg: cfg, eng: eng,
 		rng: rand.New(rand.NewSource(cfg.Seed + 99)),
 	}
+	s.latency.SetBounded()
 	// Stacked so worker 0 pops first: the first dispatched stage lands
 	// on worker 0's track.
 	s.freeWorkers = make([]int, cfg.Workers)
@@ -460,6 +470,7 @@ func (s *Server) transmit(rc *reqCtx, base uint64, txBytes int, spans []offload.
 		s.requests++
 		s.txBytes += uint64(txBytes)
 		s.latSumPs += wireDone - rc.req.at
+		s.latency.Observe(float64(wireDone - rc.req.at))
 		s.stagePs[StageTX] += cpu
 		s.stagePs[StageWire] += wireDone - wireStart
 	}
@@ -486,6 +497,7 @@ func (s *Server) BeginMeasurement() {
 	s.measureFrom = s.eng.Now()
 	s.memBase = s.cfg.Sys.MemoryBytesMoved()
 	s.cpuBusyPs, s.deviceBusyPs, s.requests, s.txBytes, s.latSumPs = 0, 0, 0, 0, 0
+	s.latency.Reset()
 	s.stagePs = [NumStages]int64{}
 }
 
@@ -499,6 +511,7 @@ func (s *Server) Collect() Metrics {
 		DeviceBusyPs: s.deviceBusyPs,
 		MemBytes:     s.cfg.Sys.MemoryBytesMoved() - s.memBase,
 		TXBytes:      s.txBytes,
+		Latency:      s.latency,
 		StagePs:      s.stagePs,
 		Errors:       s.errors,
 	}

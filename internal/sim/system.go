@@ -364,3 +364,20 @@ func (s *System) MemoryBytesMoved() uint64 {
 // LLCMissRateSample samples and resets the LLC miss-rate window — the
 // probe the adaptive policy uses (§V-C).
 func (s *System) LLCMissRateSample() float64 { return s.Hier.LLC.SampleMissRate() }
+
+// RegisterMetrics registers every stats aggregate the assembled system
+// owns — the rank-0 device and driver plus each rank's memory
+// controller — under the conventional prefixes ("dev", "driver",
+// "mem.rankN"). The CLIs and the bench harness all report through this
+// one helper so their metric name layout cannot drift apart.
+func (s *System) RegisterMetrics(reg *telemetry.Registry) {
+	if s.Dev != nil {
+		reg.Register("dev", s.Dev.Stats())
+	}
+	if s.Driver != nil {
+		reg.Register("driver", s.Driver.Stats())
+	}
+	for r, ctl := range s.Ctls {
+		reg.Register(fmt.Sprintf("mem.rank%d", r), ctl.Stats())
+	}
+}

@@ -232,38 +232,168 @@ func ratePerSec(bytes uint64, ps int64) float64 {
 	return float64(bytes) / (float64(ps) * 1e-12)
 }
 
-// Histogram is a latency/size histogram with exact percentile queries. It
-// stores raw samples; simulation runs are bounded so memory use is
-// acceptable and exact quantiles simplify validation against the paper.
+// Histogram is a latency/size histogram with percentile queries. The
+// default (exact) mode stores raw samples — short simulation runs are
+// bounded, and exact quantiles simplify validation against the paper.
+// SetBounded switches to a log2-bucketed sketch with fixed memory
+// (histSubBuckets linear sub-buckets per power-of-two octave, ~16KB
+// total), which is what long-lived aggregation paths (the fleet's
+// service-time sketches, the load generator's latency record) use so
+// memory stays flat at fleet request rates. Bounded percentiles are
+// nearest-rank over bucket midpoints: relative error is at most one
+// sub-bucket width (~1/histSubBuckets of an octave); Min, Max, Mean,
+// and Count stay exact in both modes.
 type Histogram struct {
 	samples []float64
 	sorted  bool
 	sum     float64
+	n       uint64
+
+	bounded  bool
+	buckets  []uint64
+	min, max float64
 }
+
+// Bounded-mode geometry: octaves cover [2^(histMinExp-1), 2^histMaxExp)
+// with histSubBuckets linear sub-buckets each. Bucket 0 collects v <= 0
+// and underflow; the top bucket collects overflow.
+const (
+	histSubBuckets = 16
+	histMinExp     = -64
+	histMaxExp     = 64
+	histNumBuckets = (histMaxExp-histMinExp+1)*histSubBuckets + 1
+)
+
+// bucketIndex maps a sample to its bounded-mode bucket.
+func bucketIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	if exp < histMinExp {
+		return 0
+	}
+	if exp > histMaxExp {
+		exp = histMaxExp
+	}
+	sub := int((frac - 0.5) * 2 * histSubBuckets)
+	if sub >= histSubBuckets {
+		sub = histSubBuckets - 1
+	}
+	return (exp-histMinExp)*histSubBuckets + sub + 1
+}
+
+// bucketMid returns the linear midpoint of a bucket's value range, the
+// representative bounded percentiles report.
+func bucketMid(idx int) float64 {
+	if idx <= 0 {
+		return 0
+	}
+	idx--
+	exp := histMinExp + idx/histSubBuckets
+	sub := idx % histSubBuckets
+	lo := math.Ldexp(1, exp-1) // 2^(exp-1), the octave floor
+	return lo * (1 + (float64(sub)+0.5)/histSubBuckets)
+}
+
+// SetBounded switches the histogram to the fixed-memory log2-bucketed
+// mode, converting any samples already observed. Merging a bounded
+// histogram into an exact one promotes the receiver, so boundedness is
+// contagious through aggregation trees (a fleet total merged from
+// bounded member sketches is itself bounded).
+func (h *Histogram) SetBounded() {
+	if h.bounded {
+		return
+	}
+	h.bounded = true
+	h.buckets = make([]uint64, histNumBuckets)
+	for _, v := range h.samples {
+		h.buckets[bucketIndex(v)]++
+	}
+	if len(h.samples) > 0 {
+		if !h.sorted {
+			sort.Float64s(h.samples)
+		}
+		h.min, h.max = h.samples[0], h.samples[len(h.samples)-1]
+	}
+	h.samples, h.sorted = nil, false
+}
+
+// Bounded reports whether the histogram is in log2-bucketed mode.
+func (h *Histogram) Bounded() bool { return h.bounded }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
-	h.samples = append(h.samples, v)
-	h.sorted = false
+	if h.bounded {
+		if h.buckets == nil {
+			h.buckets = make([]uint64, histNumBuckets)
+		}
+		h.buckets[bucketIndex(v)]++
+		if h.n == 0 {
+			h.min, h.max = v, v
+		} else {
+			if v < h.min {
+				h.min = v
+			}
+			if v > h.max {
+				h.max = v
+			}
+		}
+	} else {
+		h.samples = append(h.samples, v)
+		h.sorted = false
+	}
 	h.sum += v
+	h.n++
 }
 
 // Count returns the number of observed samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int { return int(h.n) }
 
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (h *Histogram) Mean() float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.n)
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank on the sorted samples. Returns 0 with no samples.
+// nearest-rank: on the sorted samples in exact mode, on bucket
+// midpoints in bounded mode (with exact min/max at the extremes).
+// Returns 0 with no samples.
 func (h *Histogram) Percentile(p float64) float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
+	}
+	if h.bounded {
+		if p <= 0 {
+			return h.min
+		}
+		if p >= 100 {
+			return h.max
+		}
+		rank := uint64(math.Ceil(p / 100 * float64(h.n)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum uint64
+		for i, c := range h.buckets {
+			cum += c
+			if cum >= rank {
+				// Clamp the representative to the observed range so a
+				// lone min/max sample never reports outside it.
+				v := bucketMid(i)
+				if v < h.min {
+					v = h.min
+				}
+				if v > h.max {
+					v = h.max
+				}
+				return v
+			}
+		}
+		return h.max
 	}
 	if !h.sorted {
 		sort.Float64s(h.samples)
@@ -283,14 +413,46 @@ func (h *Histogram) Percentile(p float64) float64 {
 }
 
 // Merge folds another histogram's samples into this one so per-device
-// latency sketches aggregate into fleet percentiles. Both inputs are
-// sorted in place (each is O(n log n) at most once over its lifetime)
-// and combined with a single linear two-pointer pass — the union is
-// never re-sorted, so repeated fleet aggregation stays O(total) after
-// the first query on each member. The argument is left sorted and
-// otherwise untouched.
+// latency sketches aggregate into fleet percentiles. With two exact
+// histograms, both inputs are sorted in place (each is O(n log n) at
+// most once over its lifetime) and combined with a single linear
+// two-pointer pass — the union is never re-sorted, so repeated fleet
+// aggregation stays O(total) after the first query on each member. If
+// either side is bounded the result is bounded (the receiver promotes
+// itself if needed): bounded-bounded merges add bucket counts, and an
+// exact argument is re-observed bucket-wise. The argument is never
+// mutated beyond sorting its samples.
 func (h *Histogram) Merge(o *Histogram) {
-	if o == nil || len(o.samples) == 0 {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.bounded || o.bounded {
+		h.SetBounded()
+		if h.buckets == nil {
+			h.buckets = make([]uint64, histNumBuckets)
+		}
+		if o.bounded {
+			for i, c := range o.buckets {
+				h.buckets[i] += c
+			}
+		} else {
+			for _, v := range o.samples {
+				h.buckets[bucketIndex(v)]++
+			}
+		}
+		omin, omax := o.Percentile(0), o.Percentile(100)
+		if h.n == 0 {
+			h.min, h.max = omin, omax
+		} else {
+			if omin < h.min {
+				h.min = omin
+			}
+			if omax > h.max {
+				h.max = omax
+			}
+		}
+		h.sum += o.sum
+		h.n += o.n
 		return
 	}
 	if !o.sorted {
@@ -301,6 +463,7 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.samples = append(h.samples, o.samples...)
 		h.sorted = true
 		h.sum += o.sum
+		h.n += o.n
 		return
 	}
 	if !h.sorted {
@@ -322,6 +485,7 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.samples = merged
 	h.sorted = true
 	h.sum += o.sum
+	h.n += o.n
 }
 
 // Max returns the largest sample, or 0 with no samples.
@@ -340,11 +504,16 @@ func (h *Histogram) Collect(emit func(telemetry.Sample)) {
 	emit(telemetry.Sample{Name: "max", Value: h.Max()})
 }
 
-// Reset discards all samples.
+// Reset discards all samples; the mode (exact or bounded) is kept.
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
 	h.sorted = true
 	h.sum = 0
+	h.n = 0
+	h.min, h.max = 0, 0
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
 }
 
 // TimeSeries captures (time, value) pairs for figures that plot a value

@@ -335,3 +335,172 @@ func TestBandwidthMeterMerge(t *testing.T) {
 		t.Fatal("merging an unstarted meter must not change totals")
 	}
 }
+
+// Bounded mode must answer percentile queries within one sub-bucket of
+// relative error while keeping count, mean, min and max exact.
+func TestBoundedHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	h.SetBounded()
+	if !h.Bounded() {
+		t.Fatal("SetBounded did not switch modes")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 500.5 (mean must stay exact)", got)
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %v/%v, want exact 1/1000", h.Min(), h.Max())
+	}
+	// One sub-bucket spans 1/histSubBuckets of an octave: relative error
+	// is bounded by a factor of 2^(1/16)-ish; 10% is comfortably outside.
+	for _, p := range []float64{25, 50, 90, 99} {
+		want := float64(int(math.Ceil(p / 100 * 1000)))
+		got := h.Percentile(p)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("bounded p%v = %v, want ~%v (rel err %.3f)", p, got, want, rel)
+		}
+	}
+}
+
+// Converting an exact histogram mid-life must preserve its contents.
+func TestSetBoundedConvertsExistingSamples(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	h.SetBounded()
+	if h.Count() != 100 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("conversion lost state: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); math.Abs(got-50)/50 > 0.10 {
+		t.Fatalf("p50 after conversion = %v, want ~50", got)
+	}
+}
+
+// Merging two bounded histograms must equal observing the union into one.
+func TestBoundedMergeMatchesUnion(t *testing.T) {
+	var a, b, want Histogram
+	a.SetBounded()
+	b.SetBounded()
+	want.SetBounded()
+	for i := 0; i < 500; i++ {
+		v := math.Exp(float64(i%37) / 5)
+		a.Observe(v)
+		want.Observe(v)
+	}
+	for i := 0; i < 300; i++ {
+		v := float64(i)*3 + 0.5
+		b.Observe(v)
+		want.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != want.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), want.Count())
+	}
+	for p := 0.0; p <= 100; p += 5 {
+		if got, w := a.Percentile(p), want.Percentile(p); got != w {
+			t.Fatalf("merged p%v = %v, union = %v", p, got, w)
+		}
+	}
+	if a.Min() != want.Min() || a.Max() != want.Max() {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), want.Min(), want.Max())
+	}
+}
+
+// Boundedness is contagious through Merge in both directions: an exact
+// receiver promotes itself when fed a bounded argument, and a bounded
+// receiver re-observes an exact argument bucket-wise.
+func TestHistogramMergeModeContagion(t *testing.T) {
+	var exact, bounded Histogram
+	bounded.SetBounded()
+	for i := 1; i <= 50; i++ {
+		exact.Observe(float64(i))
+		bounded.Observe(float64(i + 50))
+	}
+	recv := exact // copy: exact receiver, bounded argument
+	recv.Merge(&bounded)
+	if !recv.Bounded() {
+		t.Fatal("exact receiver did not promote on bounded merge")
+	}
+	if recv.Count() != 100 || recv.Min() != 1 || recv.Max() != 100 {
+		t.Fatalf("promoted merge state: count=%d min=%v max=%v", recv.Count(), recv.Min(), recv.Max())
+	}
+
+	var recv2 Histogram
+	recv2.SetBounded()
+	for i := 1; i <= 50; i++ {
+		recv2.Observe(float64(i + 50))
+	}
+	recv2.Merge(&exact) // bounded receiver, exact argument
+	if recv2.Count() != 100 || recv2.Min() != 1 || recv2.Max() != 100 {
+		t.Fatalf("bounded<-exact merge state: count=%d min=%v max=%v", recv2.Count(), recv2.Min(), recv2.Max())
+	}
+	if got := recv2.Percentile(50); math.Abs(got-50)/50 > 0.10 {
+		t.Fatalf("bounded<-exact p50 = %v, want ~50", got)
+	}
+}
+
+// Bounded percentiles must stay monotone in p, like exact ones.
+func TestBoundedPercentileMonotonic(t *testing.T) {
+	f := func(vals []float64) bool {
+		var h Histogram
+		h.SetBounded()
+		ok := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h.Observe(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Memory stays flat in bounded mode: Observe never grows the histogram
+// after the bucket array exists.
+func TestBoundedObserveDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	h.SetBounded()
+	h.Observe(1) // ensure buckets exist
+	if a := testing.AllocsPerRun(1000, func() { h.Observe(123.456) }); a != 0 {
+		t.Fatalf("bounded Observe allocates %v/op", a)
+	}
+}
+
+func TestBoundedReset(t *testing.T) {
+	var h Histogram
+	h.SetBounded()
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i + 1))
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("reset did not clear bounded histogram")
+	}
+	if !h.Bounded() {
+		t.Fatal("reset dropped bounded mode")
+	}
+	h.Observe(7)
+	if h.Count() != 1 || h.Percentile(100) != 7 {
+		t.Fatal("bounded histogram unusable after reset")
+	}
+}

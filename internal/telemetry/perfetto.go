@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -26,7 +27,20 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 }
 
 // PerfettoJSON renders the trace; one event per line for diffability.
+//
+// Two edge cases are normalized at export time so every produced file
+// loads cleanly in a trace viewer:
+//
+//   - Async spans left open when the engine drains (requests still in
+//     flight at the simulation deadline) get a synthetic "e" event at
+//     the trace's end timestamp, in begin-emission order — Perfetto
+//     otherwise renders them as unterminated arrows.
+//   - A Tracer that recorded nothing exports the minimal valid document
+//     {"traceEvents":[]} instead of a process-metadata stub.
 func (t *Tracer) PerfettoJSON() []byte {
+	if t.Len() == 0 && len(t.Tracks()) == 0 {
+		return []byte("{\"traceEvents\":[]}\n")
+	}
 	var b bytes.Buffer
 	b.WriteString("{\"traceEvents\":[\n")
 	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"smartdimm-sim"}}`)
@@ -65,8 +79,64 @@ func (t *Tracer) PerfettoJSON() []byte {
 		}
 		b.WriteString("}")
 	}
+	for _, i := range t.unclosedAsync() {
+		e := t.Events()[i]
+		fmt.Fprintf(&b, ",\n{\"name\":")
+		quote(&b, e.Name)
+		fmt.Fprintf(&b, ",\"cat\":\"req\",\"ph\":\"e\",\"id\":\"0x%x\",\"pid\":1,\"tid\":%d,\"ts\":", e.ID, int(e.Track)+1)
+		writeTs(&b, t.endPs())
+		b.WriteString("}")
+	}
 	b.WriteString("\n]}\n")
 	return b.Bytes()
+}
+
+// unclosedAsync returns the event indexes of async begins that never saw
+// a matching end, in emission order. Begins and ends pair by (name, id).
+func (t *Tracer) unclosedAsync() []int {
+	var pending map[asyncKey][]int
+	for i, e := range t.Events() {
+		switch e.Kind {
+		case KindAsyncBegin:
+			if pending == nil {
+				pending = map[asyncKey][]int{}
+			}
+			k := asyncKey{name: e.Name, id: e.ID}
+			pending[k] = append(pending[k], i)
+		case KindAsyncEnd:
+			k := asyncKey{name: e.Name, id: e.ID}
+			if s := pending[k]; len(s) > 0 {
+				pending[k] = s[:len(s)-1]
+			}
+		}
+	}
+	var open []int
+	for _, s := range pending {
+		open = append(open, s...)
+	}
+	sort.Ints(open) // map order → emission order
+	return open
+}
+
+type asyncKey struct {
+	name string
+	id   uint64
+}
+
+// endPs is the trace's end timestamp: the latest instant any recorded
+// event covers (span ends included). Synthetic async ends land here.
+func (t *Tracer) endPs() int64 {
+	var end int64
+	for _, e := range t.Events() {
+		at := e.AtPs
+		if e.Kind == KindSpan {
+			at += e.DurPs
+		}
+		if at > end {
+			end = at
+		}
+	}
+	return end
 }
 
 // writeTs renders picoseconds as trace_event microseconds with exactly

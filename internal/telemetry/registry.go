@@ -7,7 +7,9 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"sync"
 )
 
 // Sample is one named point-in-time measurement.
@@ -32,8 +34,12 @@ func (f CollectorFunc) Collect(emit func(Sample)) { f(emit) }
 
 // Registry holds named collectors in registration order, which is the
 // order Snapshot and WriteText report in — deterministic by
-// construction, no map iteration.
+// construction, no map iteration. Register, Sort, and Snapshot are safe
+// for concurrent use: a fleet's per-rank workers may register their
+// collectors in parallel, then call Sort once to restore a deterministic
+// report order (arrival order under concurrency is scheduler-dependent).
 type Registry struct {
+	mu       sync.Mutex
 	prefixes []string
 	cs       []Collector
 }
@@ -47,19 +53,49 @@ func (r *Registry) Register(prefix string, c Collector) {
 	if r == nil || c == nil {
 		return
 	}
+	r.mu.Lock()
 	r.prefixes = append(r.prefixes, prefix)
 	r.cs = append(r.cs, c)
+	r.mu.Unlock()
+}
+
+// Sort stable-sorts the registered collectors by prefix, leaving each
+// collector's own sample order untouched. After concurrent registration
+// (per-rank fleet workers racing into the registry), one Sort call makes
+// Snapshot/WriteText output independent of arrival order; serial callers
+// never need it.
+func (r *Registry) Sort() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := make([]int, len(r.cs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return r.prefixes[idx[a]] < r.prefixes[idx[b]] })
+	prefixes := make([]string, len(idx))
+	cs := make([]Collector, len(idx))
+	for i, j := range idx {
+		prefixes[i], cs[i] = r.prefixes[j], r.cs[j]
+	}
+	r.prefixes, r.cs = prefixes, cs
 }
 
 // Snapshot collects every registered collector once, in registration
-// order.
+// order (or prefix order after Sort).
 func (r *Registry) Snapshot() []Sample {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	prefixes := append([]string(nil), r.prefixes...)
+	cs := append([]Collector(nil), r.cs...)
+	r.mu.Unlock()
 	var out []Sample
-	for i, c := range r.cs {
-		prefix := r.prefixes[i]
+	for i, c := range cs {
+		prefix := prefixes[i]
 		c.Collect(func(s Sample) {
 			if prefix != "" {
 				s.Name = prefix + "." + s.Name

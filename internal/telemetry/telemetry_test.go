@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -145,5 +146,75 @@ func TestNilRegistrySafe(t *testing.T) {
 	r.Register("x", CollectorFunc(func(func(Sample)) {}))
 	if r.Snapshot() != nil {
 		t.Fatal("nil registry produced samples")
+	}
+}
+
+// An async span left open at engine drain must get a synthetic end at
+// the trace's end timestamp so viewers don't render it unterminated.
+func TestPerfettoSyntheticAsyncEnd(t *testing.T) {
+	tr := New()
+	req := tr.Track("requests")
+	eng := tr.Track("engine")
+	tr.AsyncBegin(req, "req", 1, 100)
+	tr.AsyncEnd(req, "req", 1, 500)
+	tr.AsyncBegin(req, "req", 2, 300) // never closed: in flight at drain
+	tr.Span(eng, "run", 0, 2_000)     // trace end = 2000ps = 0.002us
+
+	got := string(tr.PerfettoJSON())
+	if !json.Valid([]byte(got)) {
+		t.Fatalf("exporter produced invalid JSON:\n%s", got)
+	}
+	ends := strings.Count(got, `"ph":"e"`)
+	if ends != 2 {
+		t.Fatalf("want 2 async ends (1 real + 1 synthetic), got %d:\n%s", ends, got)
+	}
+	if !strings.Contains(got, `"ph":"e","id":"0x2","pid":1,"tid":1,"ts":0.002000}`) {
+		t.Fatalf("synthetic end for id 2 missing or not at trace end:\n%s", got)
+	}
+	// A balanced trace must not grow synthetic events.
+	tr2 := New()
+	r2 := tr2.Track("requests")
+	tr2.AsyncBegin(r2, "req", 7, 10)
+	tr2.AsyncEnd(r2, "req", 7, 20)
+	if n := strings.Count(string(tr2.PerfettoJSON()), `"ph":"e"`); n != 1 {
+		t.Fatalf("balanced trace exported %d ends, want 1", n)
+	}
+}
+
+// Reused async ids (sequential request slots) must only synthesize ends
+// for genuinely open spans, not confuse begin/end pairing.
+func TestPerfettoSyntheticAsyncEndReusedID(t *testing.T) {
+	tr := New()
+	req := tr.Track("requests")
+	tr.AsyncBegin(req, "req", 1, 0)
+	tr.AsyncEnd(req, "req", 1, 10)
+	tr.AsyncBegin(req, "req", 1, 20) // same id, second lifetime, unclosed
+	got := string(tr.PerfettoJSON())
+	if !json.Valid([]byte(got)) {
+		t.Fatalf("invalid JSON:\n%s", got)
+	}
+	if n := strings.Count(got, `"ph":"e"`); n != 2 {
+		t.Fatalf("want 2 ends (1 real + 1 synthetic), got %d:\n%s", n, got)
+	}
+}
+
+// A tracer that recorded nothing must still export a valid (and
+// minimal) JSON document.
+func TestPerfettoEmptyTrace(t *testing.T) {
+	for name, tr := range map[string]*Tracer{"fresh": New(), "nil": nil} {
+		got := tr.PerfettoJSON()
+		if want := "{\"traceEvents\":[]}\n"; string(got) != want {
+			t.Fatalf("%s tracer: empty export = %q, want %q", name, got, want)
+		}
+		if !json.Valid(got) {
+			t.Fatalf("%s tracer: empty export is invalid JSON", name)
+		}
+	}
+	// A tracer with tracks but no events keeps the metadata preamble and
+	// stays valid.
+	tr := New()
+	tr.Track("engine")
+	if got := tr.PerfettoJSON(); !json.Valid(got) || !bytes.Contains(got, []byte("thread_name")) {
+		t.Fatalf("track-only export wrong: %s", got)
 	}
 }

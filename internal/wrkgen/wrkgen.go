@@ -52,7 +52,11 @@ func New(eng *sim.Engine, target Target, cfg Config) *Generator {
 	if cfg.Connections <= 0 {
 		cfg.Connections = 1
 	}
-	return &Generator{cfg: cfg, eng: eng, target: target}
+	g := &Generator{cfg: cfg, eng: eng, target: target}
+	// The latency record grows with every completed request; bounded
+	// mode keeps a long measurement window at fleet RPS in fixed memory.
+	g.Latency.SetBounded()
+	return g
 }
 
 // Start issues the first request on every connection.
