@@ -24,18 +24,24 @@
 #                     path) against their committed golden table, plus
 #                     the serial/pooled/GOMAXPROCS=2 byte-identity gate
 #                     and the `go tool pprof` acceptance check
-#   8. KPI bench    — the pinned deterministic scenarios from
+#   8. shard gate   — the sharded PDES engine: the serial-reference vs
+#                     parallel-epoch vs GOMAXPROCS=2 byte-identity gates
+#                     (engine, full cluster, fault-injected soak) under
+#                     -race, plus structural grep gates: goroutines in
+#                     internal/sim only in the sharded executor, no
+#                     package-level mutable state in the shard code
+#   9. KPI bench    — the pinned deterministic scenarios from
 #                     internal/profile, gated against BENCH_baseline.json
 #                     (writes BENCH_results.json); re-pin an intended
 #                     change with `go run ./cmd/tracestat -bench
 #                     -update-baseline`
-#   9. go test      — the full suite with a shuffled test order: the
+#  10. go test      — the full suite with a shuffled test order: the
 #                     serial-vs-parallel sweep determinism gate plus the
 #                     full 200-schedule chaos soak, and -shuffle guards
 #                     against inter-test state leaking into results
 #
 # `./ci.sh bench` runs only the KPI bench stage — the quick loop while
-# tuning performance.
+# tuning performance. `./ci.sh shard` runs only the shard gate.
 set -eu
 cd "$(dirname "$0")"
 
@@ -44,8 +50,31 @@ run_bench() {
 	go run ./cmd/tracestat -bench -baseline BENCH_baseline.json -out BENCH_results.json
 }
 
+run_shard() {
+	echo "== shard determinism gate (serial vs parallel vs GOMAXPROCS=2, under -race)"
+	go test -race -run 'Shard' ./internal/sim/ ./internal/fleet/ ./internal/chaos/
+
+	# Parallel epoch execution must stay confined to the sharded executor:
+	# shard-local model code is written single-threaded and relies on it.
+	if grep -rn "go func" internal/sim/ --include="*.go" --exclude="*_test.go" --exclude="shard.go"; then
+		echo "ci.sh: goroutine outside internal/sim/shard.go — only the epoch executor may spawn" >&2
+		exit 1
+	fi
+	# The shard executor itself must hold no cross-run mutable state:
+	# package-level vars would be shared across shards and break the
+	# nothing-shared determinism argument.
+	if grep -n "^var " internal/sim/shard.go; then
+		echo "ci.sh: package-level var in internal/sim/shard.go — shard state must live in ShardedEngine" >&2
+		exit 1
+	fi
+}
+
 if [ "${1:-}" = "bench" ]; then
 	run_bench
+	exit 0
+fi
+if [ "${1:-}" = "shard" ]; then
+	run_shard
 	exit 0
 fi
 
@@ -73,6 +102,8 @@ go test -run 'TestPerfettoGolden|TestFullStackTraceReproducible' ./internal/tele
 echo "== tracestat golden output"
 go test -run 'TestCritPathGolden|TestTracestatByteIdenticalAcrossSchedulers' ./internal/experiments/
 go test -run 'TestGoToolPprofAcceptsExport' ./internal/profile/
+
+run_shard
 
 run_bench
 

@@ -8,6 +8,7 @@
 //	figures -fig 11       # one figure
 //	figures -fig 2b       # bursty-loss variant of Fig. 2 (not in "all")
 //	figures -fig scale    # fleet scaling, 1-8 SmartDIMM ranks (not in "all")
+//	figures -fig shard    # sharded-engine wall-clock scaling (not in "all")
 //	figures -table 1      # Table I
 //	figures -power        # §VII-D power/area model
 //	figures -scale paper  # testbed-scale workloads (slower)
@@ -17,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/power"
 	"repro/internal/runner"
 	"repro/internal/server"
@@ -62,6 +66,9 @@ func main() {
 	}
 	if *fig == "scale" {
 		figScale(pool)
+	}
+	if *fig == "shard" {
+		figShard()
 	}
 	if *fig == "breakdown" {
 		figBreakdown(pool, sc)
@@ -133,6 +140,57 @@ func figScale(pool *runner.Pool) {
 		fail(err)
 	}
 	fmt.Print(experiments.RenderScale(pts))
+	fmt.Println()
+}
+
+// figShard measures the sharded PDES engine's single-run wall-clock
+// scaling: the same simulated cluster at 1-8 shards, executed first on
+// the serial reference schedule (exec-workers 1) and then with parallel
+// epochs (exec-workers 0 = GOMAXPROCS). Simulated results are
+// byte-identical between the two columns — only wall time moves, and it
+// can only move if the host actually has cores to run epochs on.
+func figShard() {
+	ncpu := runtime.NumCPU()
+	fmt.Println("=== Sharded engine: single-run wall-clock scaling ===")
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), ncpu)
+	if ncpu < 4 {
+		fmt.Print("  (fewer than 4 cores: parallel epochs cannot beat the serial schedule here;")
+		fmt.Print("\n       the speedup column measures synchronization overhead, not scaling)")
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %-10s %-12s %-12s %-14s %-14s %s\n",
+		"shards", "requests", "sim RPS", "serial-s", "parallel-s", "req/wall-s", "speedup")
+	for _, shards := range []int{1, 2, 4, 8} {
+		var walls [2]float64
+		var requests uint64
+		var rps float64
+		for i, execWorkers := range []int{1, 0} {
+			cl, err := fleet.NewSharded(fleet.ShardedConfig{
+				Shards: shards, Policy: fleet.RoundRobin,
+				MsgSize: 4096, Connections: 64 * shards,
+				FileKind: corpus.Text, Mode: server.HTTPSMode, Seed: 1,
+				ExecWorkers: execWorkers,
+			})
+			if err != nil {
+				fail(err)
+			}
+			start := time.Now()
+			m, err := cl.Run(sim.Ms, 4*sim.Ms)
+			if err != nil {
+				fail(err)
+			}
+			walls[i] = time.Since(start).Seconds()
+			if i == 0 {
+				requests, rps = m.Agg.Requests, m.Agg.RPS
+			} else if m.Agg.Requests != requests {
+				fail(fmt.Errorf("shards=%d: parallel run diverged from serial (%d vs %d requests)",
+					shards, m.Agg.Requests, requests))
+			}
+		}
+		fmt.Printf("%-8d %-10d %-12.0f %-12.2f %-14.2f %-14.0f %.2fx\n",
+			shards, requests, rps, walls[0], walls[1],
+			float64(requests)/walls[1], walls[0]/walls[1])
+	}
 	fmt.Println()
 }
 

@@ -13,6 +13,12 @@
 // with -devices above 1 defaults to the rr policy. Non-SmartDIMM
 // placements reject -devices above 1.
 //
+// Parallel single-run: -shards N splits ONE simulation across N engine
+// shards (each a disjoint sub-system of -devices ranks behind its own
+// fleet) executed in parallel with conservative lookahead; -exec-workers
+// caps the epoch parallelism (1 = serial reference). Reported metrics
+// and -trace output are byte-identical for every -exec-workers value.
+//
 // Examples:
 //
 //	smartdimm-sim -placement smartdimm -ulp tls -msg 16384 -conns 512
@@ -44,25 +50,29 @@ import (
 
 // cliConfig carries the flag values shared by every run of the sweep.
 type cliConfig struct {
-	placement string
-	ulpName   string
-	workers   int
-	devices   int
-	llc       int
-	ways      int
-	kind      corpus.Kind
-	warmupMs  int
-	measureMs int
-	seed      int64
-	tracePath string
-	metrics   bool
-	profile   bool
+	placement   string
+	ulpName     string
+	workers     int
+	devices     int
+	shards      int
+	execWorkers int
+	llc         int
+	ways        int
+	kind        corpus.Kind
+	warmupMs    int
+	measureMs   int
+	seed        int64
+	tracePath   string
+	metrics     bool
+	profile     bool
 }
 
 func main() {
 	placement := flag.String("placement", "smartdimm",
 		"cpu | smartnic | qat | smartdimm | adaptive, or a fleet policy rr | leastload | affinity | sticky (default policy with -devices > 1: rr)")
 	devices := flag.Int("devices", 1, "SmartDIMM ranks; above 1, connections shard across a fleet (see -placement)")
+	shards := flag.Int("shards", 0, "run ONE simulation split across N parallel engine shards (sub-systems with -devices ranks each); 0 = the serial engine")
+	execWorkers := flag.Int("exec-workers", 0, "with -shards: epoch execution parallelism (0 = GOMAXPROCS, 1 = serial reference schedule; results are byte-identical either way)")
 	ulpName := flag.String("ulp", "tls", "tls | compression | none (plain HTTP)")
 	msgList := flag.String("msg", "4096", "message (response body) sizes in bytes, comma-separated")
 	connList := flag.String("conns", "256", "persistent connection counts, comma-separated")
@@ -97,7 +107,8 @@ func main() {
 	}
 	cfg := cliConfig{
 		placement: strings.ToLower(*placement), ulpName: strings.ToLower(*ulpName),
-		workers: *workers, devices: *devices, llc: *llc, ways: *ways, kind: kind,
+		workers: *workers, devices: *devices, shards: *shards, execWorkers: *execWorkers,
+		llc: *llc, ways: *ways, kind: kind,
 		warmupMs: *warmupMs, measureMs: *measureMs, seed: *seed,
 		tracePath: *tracePath, metrics: *metrics, profile: *prof,
 	}
@@ -136,6 +147,9 @@ func main() {
 // runOne builds a fresh system, runs one closed-loop measurement, and
 // returns the formatted report.
 func runOne(cfg cliConfig, msg, conns int) (string, error) {
+	if cfg.shards > 0 {
+		return runSharded(cfg, msg, conns)
+	}
 	// A fleet policy name as the placement, or -devices above 1 with the
 	// plain smartdimm placement (defaulting to round-robin), selects the
 	// multi-device fleet backend.
@@ -311,6 +325,99 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 		}
 		fmt.Fprintf(&b, "trace:       %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n",
 			cfg.tracePath, tracer.Len())
+	}
+	return b.String(), nil
+}
+
+// runSharded runs one simulation split across cfg.shards parallel
+// engine shards (fleet.Sharded): each shard is a disjoint sub-system
+// with cfg.devices ranks behind a per-shard fleet backend, the
+// front-end shard dispatches connections across them, and epochs
+// execute on cfg.execWorkers goroutines. Reported metrics (and -trace /
+// -metrics artifacts) are byte-identical at any -exec-workers setting.
+func runSharded(cfg cliConfig, msg, conns int) (string, error) {
+	pol, polErr := fleet.ParsePolicy(cfg.placement)
+	if polErr != nil {
+		if cfg.placement != "smartdimm" {
+			return "", fmt.Errorf("-shards: placement %q is single-system; use smartdimm or a fleet policy (rr, leastload, affinity, sticky)", cfg.placement)
+		}
+		pol = fleet.RoundRobin
+	}
+	mode := server.HTTPSMode
+	switch cfg.ulpName {
+	case "tls":
+	case "compression":
+		mode = server.CompressedHTTP
+	default:
+		return "", fmt.Errorf("-shards: ulp %q unsupported; sharded runs serve tls or compression", cfg.ulpName)
+	}
+	trace := cfg.tracePath != "" || cfg.profile
+	cl, err := fleet.NewSharded(fleet.ShardedConfig{
+		Shards: cfg.shards, RanksPerShard: cfg.devices, Policy: pol,
+		Workers: cfg.workers, MsgSize: msg, Connections: conns,
+		FileKind: cfg.kind, Mode: mode, Seed: cfg.seed,
+		ExecWorkers: cfg.execWorkers,
+		LLCBytes:    cfg.llc, LLCWays: cfg.ways,
+		Trace: trace,
+	})
+	if err != nil {
+		return "", err
+	}
+	warmup, measure := int64(cfg.warmupMs)*sim.Ms, int64(cfg.measureMs)*sim.Ms
+	sm, err := cl.Run(warmup, measure)
+	if err != nil {
+		return "", err
+	}
+	m := sm.Agg
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement:   %s, %d shards x %d ranks (exec workers: %d)\n",
+		pol, cfg.shards, cfg.devices, cl.Engine().Workers)
+	fmt.Fprintf(&b, "mode:        %s, %dB messages, %d connections, %d workers/shard\n", mode, msg, conns, cfg.workers)
+	fmt.Fprintf(&b, "requests:    %d in %.2fms\n", m.Requests, float64(m.ElapsedPs)/float64(sim.Ms))
+	fmt.Fprintf(&b, "RPS:         %.0f\n", m.RPS)
+	fmt.Fprintf(&b, "CPU util:    %.1f%%\n", m.CPUUtil*100)
+	fmt.Fprintf(&b, "memory BW:   %.3f GB/s (%d bytes)\n", m.MemBWGBps, m.MemBytes)
+	fmt.Fprintf(&b, "TX:          %d bytes (%.2fx body)\n", m.TXBytes, float64(m.TXBytes)/float64(m.Requests*uint64(msg)))
+	fmt.Fprintf(&b, "mean latency: %.1f us\n", float64(m.MeanLatPs)/float64(sim.Us))
+	fmt.Fprintf(&b, "engine:      lookahead %.2fus, %d epochs, %d cross-shard msgs, %d events\n",
+		float64(cl.Engine().Lookahead())/float64(sim.Us), sm.Epochs, sm.SentMsgs, sm.Processed)
+	for s, ps := range sm.PerShard {
+		fmt.Fprintf(&b, "  shard %d:   %d requests, RPS %.0f, mean latency %.1f us\n",
+			s, ps.Requests, ps.RPS, float64(ps.MeanLatPs)/float64(sim.Us))
+	}
+	if cfg.metrics {
+		reg := telemetry.NewRegistry()
+		reg.Register("server", m)
+		cl.RegisterMetrics(reg)
+		fmt.Fprintf(&b, "--- metrics ---\n")
+		if err := reg.WriteText(&b); err != nil {
+			return "", err
+		}
+	}
+	if cfg.profile {
+		merged := cl.MergedTrace()
+		p := profile.FromTracer(merged)
+		fmt.Fprintf(&b, "--- profile ---\n")
+		if err := p.WriteTree(&b); err != nil {
+			return "", err
+		}
+	}
+	if cfg.tracePath != "" {
+		merged := cl.MergedTrace()
+		f, err := os.Create(cfg.tracePath)
+		if err != nil {
+			return "", err
+		}
+		if err := merged.WritePerfetto(f); err != nil {
+			f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "trace:       %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n",
+			cfg.tracePath, merged.Len())
 	}
 	return b.String(), nil
 }

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/profile"
 )
@@ -125,9 +126,13 @@ func runTrace(path string, tree bool, top int, critpath bool, waterfall int, ppr
 }
 
 // runBench executes the pinned scenarios, writes the results, and gates
-// against the baseline (or re-pins it with -update-baseline).
+// against the baseline (or re-pins it with -update-baseline). The wall
+// clock is injected here — internal/profile stays wall-clock-free — so
+// results carry wall_seconds and sim_req_per_wall_s per scenario; those
+// volatile keys are stripped before a baseline re-pin.
 func runBench(baselinePath, outPath string, tol float64, updateBaseline bool) error {
-	rep, err := profile.RunBench(profile.DefaultBenchScenarios())
+	clock := func() int64 { return time.Now().UnixNano() }
+	rep, err := profile.RunBenchClocked(profile.DefaultBenchScenarios(), clock)
 	if err != nil {
 		return err
 	}
@@ -141,7 +146,17 @@ func runBench(baselinePath, outPath string, tol float64, updateBaseline bool) er
 		}
 		fmt.Printf("bench: wrote %s (%d scenarios)\n", outPath, len(rep.Scenarios))
 	}
+	for _, r := range rep.Scenarios {
+		if wall, ok := r.KPIs["wall_seconds"]; ok {
+			fmt.Printf("bench: %-16s %8.0f req  %6.2f wall-s  %8.0f sim-req/wall-s\n",
+				r.Name, r.KPIs["requests"], wall, r.KPIs["sim_req_per_wall_s"])
+		}
+	}
 	if updateBaseline {
+		data, err := profile.MarshalBench(profile.StripVolatile(rep))
+		if err != nil {
+			return err
+		}
 		if err := os.WriteFile(baselinePath, data, 0o644); err != nil {
 			return err
 		}

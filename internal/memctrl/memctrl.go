@@ -72,6 +72,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// CommandRoundTripPs returns the controller<->device command round trip
+// in picoseconds: an activate, the CAS latency, and the ALERT_N retry
+// base — the shortest interval across which the memory domain can react
+// to a command. The sharded engine's conservative lookahead derivation
+// uses it as a floor: no cross-shard interaction in this model resolves
+// faster than a command/ALERT exchange on the DRAM bus.
+func (c Config) CommandRoundTripPs() int64 {
+	cycles := int64(c.Timing.TRCD+c.Timing.CL) + int64(c.AlertRetryCycles)
+	return cycles * c.Timing.TCKps
+}
+
 // Stats aggregates controller activity.
 type Stats struct {
 	Reads       uint64

@@ -27,18 +27,30 @@ import (
 
 // BenchScenario pins one deterministic serving run.
 type BenchScenario struct {
-	Name      string      `json:"name"`
-	Placement string      `json:"placement"` // cpu | smartdimm | a fleet policy
-	Devices   int         `json:"devices"`   // SmartDIMM ranks (fleet when > 1)
-	ULP       string      `json:"ulp"`       // tls | compression
-	Msg       int         `json:"msg"`
-	Conns     int         `json:"conns"`
-	Workers   int         `json:"workers"`
-	Seed      int64       `json:"seed"`
-	WarmupPs  int64       `json:"warmup_ps"`
-	MeasurePs int64       `json:"measure_ps"`
-	Params    *sim.Params `json:"-"` // calibration override; nil = DefaultParams
+	Name      string `json:"name"`
+	Placement string `json:"placement"` // cpu | smartdimm | a fleet policy
+	Devices   int    `json:"devices"`   // SmartDIMM ranks (fleet when > 1)
+	ULP       string `json:"ulp"`       // tls | compression
+	Msg       int    `json:"msg"`
+	Conns     int    `json:"conns"`
+	Workers   int    `json:"workers"`
+	Seed      int64  `json:"seed"`
+	WarmupPs  int64  `json:"warmup_ps"`
+	MeasurePs int64  `json:"measure_ps"`
+	// Shards > 0 runs the scenario on the sharded PDES cluster
+	// (fleet.Sharded): Shards sub-systems with Devices ranks each,
+	// Placement naming the per-shard fleet policy. ExecWorkers sets the
+	// epoch parallelism (0 = GOMAXPROCS, 1 = serial reference); the sim
+	// KPIs are byte-identical either way, only wall KPIs move.
+	Shards      int         `json:"shards,omitempty"`
+	ExecWorkers int         `json:"exec_workers,omitempty"`
+	Params      *sim.Params `json:"-"` // calibration override; nil = DefaultParams
 }
+
+// Clock reads a wall-time instant in nanoseconds. The bench harness
+// takes it as an injected dependency (internal/ is wall-clock-free by
+// the determinism gate in ci.sh); cmd/tracestat passes time.Now.
+type Clock func() int64
 
 // BenchResult carries one scenario's extracted KPIs. The map marshals
 // with sorted keys, so the JSON report is byte-deterministic.
@@ -66,77 +78,38 @@ func DefaultBenchScenarios() []BenchScenario {
 			Msg: 4096, Conns: 128, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
 		{Name: "cpu-baseline", Placement: "cpu", Devices: 1, ULP: "tls",
 			Msg: 4096, Conns: 64, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
+		// The sharded PDES scenario: ~100k requests over an 8-shard rack
+		// slice, sized so single-run parallelism shows up in the wall
+		// columns (sim KPIs stay byte-identical at any ExecWorkers).
+		{Name: "fleet-8rank-big", Placement: "rr", Shards: 8, Devices: 1, ULP: "tls",
+			Msg: 4096, Conns: 512, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 20 * sim.Ms},
 	}
 }
 
 // RunBenchScenario builds a fresh system and runs one closed-loop
 // measurement, returning the scenario's KPIs.
 func RunBenchScenario(sc BenchScenario) (BenchResult, error) {
+	return RunBenchScenarioClocked(sc, nil)
+}
+
+// RunBenchScenarioClocked is RunBenchScenario with an optional wall
+// clock. A non-nil clock adds the volatile wall KPIs — "wall_seconds"
+// and "sim_req_per_wall_s" (simulated requests retired per wall-clock
+// second, the single-run parallelism figure of merit). Wall KPIs never
+// belong in BENCH_baseline.json; StripVolatile removes them.
+func RunBenchScenarioClocked(sc BenchScenario, clock Clock) (BenchResult, error) {
 	res := BenchResult{Name: sc.Name}
 	params := sim.DefaultParams()
 	if sc.Params != nil {
 		params = *sc.Params
 	}
-
-	pol, polErr := fleet.ParsePolicy(sc.Placement)
-	isFleet := polErr == nil
-	if sc.Devices > 1 && !isFleet {
-		return res, fmt.Errorf("scenario %s: %d devices needs a fleet policy placement", sc.Name, sc.Devices)
+	var start int64
+	if clock != nil {
+		start = clock()
 	}
-	withDIMM := sc.Placement == "smartdimm" || isFleet
-	ranks := 0
-	if isFleet {
-		ranks = sc.Devices
-	}
-	sys, err := sim.NewSystem(sim.SystemConfig{
-		Params: params, LLCBytes: 2 << 20, LLCWays: 8,
-		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
-		WithSmartDIMM:  withDIMM,
-		SmartDIMMRanks: ranks,
-	})
+	m, err := runScenarioWorkload(sc, params)
 	if err != nil {
 		return res, err
-	}
-
-	var backend offload.Backend
-	switch {
-	case isFleet:
-		fl, err := fleet.New(fleet.Config{Sys: sys, Policy: pol})
-		if err != nil {
-			return res, err
-		}
-		backend = fl
-	case sc.Placement == "cpu":
-		backend = &offload.CPU{Sys: sys}
-	case sc.Placement == "smartdimm":
-		backend = &offload.SmartDIMM{Sys: sys}
-	default:
-		return res, fmt.Errorf("scenario %s: unknown placement %q", sc.Name, sc.Placement)
-	}
-
-	mode := server.HTTPSMode
-	if sc.ULP == "compression" {
-		mode = server.CompressedHTTP
-	}
-	srv, err := server.New(sys.Engine, server.Config{
-		Sys: sys, Backend: backend, Mode: mode, Workers: sc.Workers,
-		MsgSize: sc.Msg, Connections: sc.Conns, FileKind: corpus.Text, Seed: sc.Seed,
-	})
-	if err != nil {
-		return res, err
-	}
-	gen := wrkgen.New(sys.Engine, srv, wrkgen.Config{
-		Connections: sc.Conns,
-		ThinkPs:     int64(sys.Params.RTTUs * float64(sim.Us)),
-	})
-	gen.Start()
-	sys.Engine.RunUntil(sc.WarmupPs)
-	srv.BeginMeasurement()
-	gen.BeginMeasurement()
-	sys.Engine.RunUntil(sc.WarmupPs + sc.MeasurePs)
-	m := srv.Collect()
-	if err := srv.LastError(); err != nil {
-		return res, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 
 	cyclesPerByte := 0.0
@@ -152,20 +125,150 @@ func RunBenchScenario(sc BenchScenario) (BenchResult, error) {
 		"cycles_per_byte": cyclesPerByte,
 		"mem_bw_gbps":     m.MemBWGBps,
 	}
+	if clock != nil {
+		wall := float64(clock()-start) * 1e-9
+		res.KPIs["wall_seconds"] = wall
+		if wall > 0 {
+			res.KPIs["sim_req_per_wall_s"] = float64(m.Requests) / wall
+		}
+	}
 	return res, nil
+}
+
+// runScenarioWorkload executes the scenario's serving run — on the
+// sharded cluster when Shards > 0, on a single serial system otherwise —
+// and returns the (aggregated) server metrics.
+func runScenarioWorkload(sc BenchScenario, params sim.Params) (server.Metrics, error) {
+	if sc.Shards > 0 {
+		return runShardedWorkload(sc, params)
+	}
+	return runSerialWorkload(sc, params)
+}
+
+// runShardedWorkload runs the scenario on a fleet.Sharded cluster.
+func runShardedWorkload(sc BenchScenario, params sim.Params) (server.Metrics, error) {
+	pol, err := fleet.ParsePolicy(sc.Placement)
+	if err != nil {
+		return server.Metrics{}, fmt.Errorf("scenario %s: sharded runs need a fleet policy placement: %w", sc.Name, err)
+	}
+	mode := server.HTTPSMode
+	if sc.ULP == "compression" {
+		mode = server.CompressedHTTP
+	}
+	cl, err := fleet.NewSharded(fleet.ShardedConfig{
+		Shards: sc.Shards, RanksPerShard: sc.Devices, Policy: pol,
+		Workers: sc.Workers, MsgSize: sc.Msg, Connections: sc.Conns,
+		FileKind: corpus.Text, Mode: mode, Seed: sc.Seed,
+		ExecWorkers: sc.ExecWorkers, Params: &params,
+	})
+	if err != nil {
+		return server.Metrics{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	sm, err := cl.Run(sc.WarmupPs, sc.MeasurePs)
+	if err != nil {
+		return server.Metrics{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	return sm.Agg, nil
+}
+
+// runSerialWorkload runs the scenario on one serial system.
+func runSerialWorkload(sc BenchScenario, params sim.Params) (server.Metrics, error) {
+	pol, polErr := fleet.ParsePolicy(sc.Placement)
+	isFleet := polErr == nil
+	if sc.Devices > 1 && !isFleet {
+		return server.Metrics{}, fmt.Errorf("scenario %s: %d devices needs a fleet policy placement", sc.Name, sc.Devices)
+	}
+	withDIMM := sc.Placement == "smartdimm" || isFleet
+	ranks := 0
+	if isFleet {
+		ranks = sc.Devices
+	}
+	sys, err := sim.NewSystem(sim.SystemConfig{
+		Params: params, LLCBytes: 2 << 20, LLCWays: 8,
+		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
+		WithSmartDIMM:  withDIMM,
+		SmartDIMMRanks: ranks,
+	})
+	if err != nil {
+		return server.Metrics{}, err
+	}
+
+	var backend offload.Backend
+	switch {
+	case isFleet:
+		fl, err := fleet.New(fleet.Config{Sys: sys, Policy: pol})
+		if err != nil {
+			return server.Metrics{}, err
+		}
+		backend = fl
+	case sc.Placement == "cpu":
+		backend = &offload.CPU{Sys: sys}
+	case sc.Placement == "smartdimm":
+		backend = &offload.SmartDIMM{Sys: sys}
+	default:
+		return server.Metrics{}, fmt.Errorf("scenario %s: unknown placement %q", sc.Name, sc.Placement)
+	}
+
+	mode := server.HTTPSMode
+	if sc.ULP == "compression" {
+		mode = server.CompressedHTTP
+	}
+	srv, err := server.New(sys.Engine, server.Config{
+		Sys: sys, Backend: backend, Mode: mode, Workers: sc.Workers,
+		MsgSize: sc.Msg, Connections: sc.Conns, FileKind: corpus.Text, Seed: sc.Seed,
+	})
+	if err != nil {
+		return server.Metrics{}, err
+	}
+	gen := wrkgen.New(sys.Engine, srv, wrkgen.Config{
+		Connections: sc.Conns,
+		ThinkPs:     int64(sys.Params.RTTUs * float64(sim.Us)),
+	})
+	gen.Start()
+	sys.Engine.RunUntil(sc.WarmupPs)
+	srv.BeginMeasurement()
+	gen.BeginMeasurement()
+	sys.Engine.RunUntil(sc.WarmupPs + sc.MeasurePs)
+	m := srv.Collect()
+	if err := srv.LastError(); err != nil {
+		return server.Metrics{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	return m, nil
 }
 
 // RunBench runs every scenario in order.
 func RunBench(scenarios []BenchScenario) (*BenchReport, error) {
+	return RunBenchClocked(scenarios, nil)
+}
+
+// RunBenchClocked runs every scenario in order with an optional wall
+// clock (see RunBenchScenarioClocked).
+func RunBenchClocked(scenarios []BenchScenario, clock Clock) (*BenchReport, error) {
 	rep := &BenchReport{}
 	for _, sc := range scenarios {
-		r, err := RunBenchScenario(sc)
+		r, err := RunBenchScenarioClocked(sc, clock)
 		if err != nil {
 			return nil, err
 		}
 		rep.Scenarios = append(rep.Scenarios, r)
 	}
 	return rep, nil
+}
+
+// StripVolatile removes the wall-clock KPIs ("wall_*",
+// "sim_req_per_wall_s") from a report in place and returns it. Baseline
+// pinning must call this: wall KPIs vary run to run and host to host,
+// and the comparison gate treats a baseline key missing from a fresh
+// run as a drift.
+func StripVolatile(rep *BenchReport) *BenchReport {
+	for _, r := range rep.Scenarios {
+		for k := range r.KPIs {
+			if k == "sim_req_per_wall_s" || len(k) >= 5 && k[:5] == "wall_" {
+				delete(r.KPIs, k)
+			}
+		}
+	}
+	return rep
 }
 
 // MarshalBench renders a report as stable, committed-diff-friendly

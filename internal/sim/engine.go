@@ -186,6 +186,39 @@ func (e *Engine) Run() uint64 {
 // are removed eagerly, so this is the heap size: O(1).
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextAt returns the time of the earliest queued event, if any. The
+// sharded coordinator uses it to compute the conservative epoch horizon.
+func (e *Engine) NextAt() (int64, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// runEpoch processes events strictly before horizon and reports how
+// many ran. Unlike RunUntil it neither advances the clock to the
+// horizon nor records a tracer span: the sharded coordinator calls it
+// once per lookahead epoch, and only the final deadline should move
+// idle clocks or appear on the trace. It shares Step's 0-alloc path.
+func (e *Engine) runEpoch(horizon int64) uint64 {
+	n := uint64(0)
+	for len(e.events) > 0 && e.events[0].at < horizon {
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// advanceTo moves the clock forward to t if it lags behind (never
+// backward). The sharded coordinator applies the run deadline to every
+// shard after the last epoch, mirroring RunUntil's trailing-edge clock
+// advance so measurement windows close at the same instant everywhere.
+func (e *Engine) advanceTo(t int64) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
 // Time helpers.
 const (
 	Ns = int64(1_000)

@@ -52,6 +52,11 @@ type SystemConfig struct {
 	// fired injections land on the trace as instant events. Nil (the
 	// default) keeps every instrumented site on its one-compare path.
 	Tracer *telemetry.Tracer
+	// Engine, when non-nil, builds the system on an existing engine
+	// instead of a fresh one — how the sharded cluster places each
+	// sub-system on its ShardedEngine shard. Nil keeps the historical
+	// one-system-one-engine behaviour.
+	Engine *Engine
 }
 
 // System is the assembled host model shared by the offload backends and
@@ -117,7 +122,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, fmt.Errorf("sim: %d SmartDIMM ranks", ranks)
 	}
 
-	sys := &System{Params: cfg.Params, Engine: NewEngine()}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = NewEngine()
+	}
+	sys := &System{Params: cfg.Params, Engine: eng}
 	sys.Tracer = cfg.Tracer
 	sys.Engine.Tracer = cfg.Tracer
 	// Channel-0 fault sites (core.*, memctrl.crc, dram.alert) all fire on
@@ -371,13 +380,27 @@ func (s *System) LLCMissRateSample() float64 { return s.Hier.LLC.SampleMissRate(
 // "mem.rankN"). The CLIs and the bench harness all report through this
 // one helper so their metric name layout cannot drift apart.
 func (s *System) RegisterMetrics(reg *telemetry.Registry) {
+	s.RegisterMetricsPrefixed(reg, "")
+}
+
+// RegisterMetricsPrefixed is RegisterMetrics with every prefix nested
+// under an extra component ("shard3" -> "shard3.dev", ...). The sharded
+// cluster registers each sub-system through it so a multi-shard metrics
+// dump carries every shard's aggregates instead of shard 0's alone.
+func (s *System) RegisterMetricsPrefixed(reg *telemetry.Registry, prefix string) {
+	join := func(name string) string {
+		if prefix == "" {
+			return name
+		}
+		return prefix + "." + name
+	}
 	if s.Dev != nil {
-		reg.Register("dev", s.Dev.Stats())
+		reg.Register(join("dev"), s.Dev.Stats())
 	}
 	if s.Driver != nil {
-		reg.Register("driver", s.Driver.Stats())
+		reg.Register(join("driver"), s.Driver.Stats())
 	}
 	for r, ctl := range s.Ctls {
-		reg.Register(fmt.Sprintf("mem.rank%d", r), ctl.Stats())
+		reg.Register(join(fmt.Sprintf("mem.rank%d", r)), ctl.Stats())
 	}
 }

@@ -1,0 +1,66 @@
+// Deterministic merging of per-shard trace streams. A sharded run gives
+// every shard its own Tracer (a Tracer is single-threaded by design);
+// after the run the streams are folded into one trace in sorted
+// (simulated ps, shard, per-shard emission order) order — a pure
+// function of the per-shard streams, so the merged trace is
+// byte-identical no matter how many workers executed the epochs.
+
+package telemetry
+
+import "sort"
+
+// MergeShards merges per-shard tracers into a single Tracer. Track
+// names are namespaced with the matching prefix ("s3/" turns "worker0"
+// into "s3/worker0"); prefixes must be distinct or same-named tracks
+// collapse onto one lane. Tracks register in (shard, creation) order and
+// events append in (AtPs, shard, emission) order, both deterministic.
+// Nil or empty tracers are skipped; len(prefixes) must equal
+// len(shards).
+func MergeShards(prefixes []string, shards []*Tracer) *Tracer {
+	if len(prefixes) != len(shards) {
+		panic("telemetry: MergeShards prefix/shard length mismatch")
+	}
+	out := New()
+	// Register every shard's tracks up front so merged TrackIDs depend
+	// only on per-shard track creation order, not event timing.
+	remap := make([][]TrackID, len(shards))
+	for s, tr := range shards {
+		if tr == nil {
+			continue
+		}
+		names := tr.Tracks()
+		remap[s] = make([]TrackID, len(names))
+		for i, name := range names {
+			remap[s][i] = out.Track(prefixes[s] + name)
+		}
+	}
+	type key struct {
+		shard int
+		idx   int
+	}
+	var keys []key
+	for s, tr := range shards {
+		if tr == nil {
+			continue
+		}
+		for i := 0; i < tr.Len(); i++ {
+			keys = append(keys, key{shard: s, idx: i})
+		}
+	}
+	// Stable sort on AtPs then shard; stability preserves each shard's
+	// emission order for equal timestamps.
+	sort.SliceStable(keys, func(a, b int) bool {
+		ea := shards[keys[a].shard].events[keys[a].idx]
+		eb := shards[keys[b].shard].events[keys[b].idx]
+		if ea.AtPs != eb.AtPs {
+			return ea.AtPs < eb.AtPs
+		}
+		return keys[a].shard < keys[b].shard
+	})
+	for _, k := range keys {
+		ev := shards[k.shard].events[k.idx]
+		ev.Track = remap[k.shard][ev.Track]
+		out.events = append(out.events, ev)
+	}
+	return out
+}
