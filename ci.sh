@@ -40,8 +40,17 @@
 #                     full 200-schedule chaos soak, and -shuffle guards
 #                     against inter-test state leaking into results
 #
+#  11. cluster gate — the replicated tier: the bounded cluster chaos
+#                     soak (kills, asymmetric partitions, drain/rejoin
+#                     against the linearizability checker) under -race,
+#                     the cluster byte-identical-trace and
+#                     any-worker-count determinism gates, and the KPI
+#                     bench gate (which includes the pinned
+#                     cluster-3node scenario)
+#
 # `./ci.sh bench` runs only the KPI bench stage — the quick loop while
 # tuning performance. `./ci.sh shard` runs only the shard gate.
+# `./ci.sh cluster` runs only the cluster gate.
 set -eu
 cd "$(dirname "$0")"
 
@@ -69,12 +78,27 @@ run_shard() {
 	fi
 }
 
+run_cluster_tests() {
+	echo "== cluster gate: bounded chaos soak + determinism gates (under -race)"
+	go test -race -short -run 'TestClusterSoak|TestClusterScheduleDerivation' ./internal/chaos/
+	go test -race -run 'TestClusterDeterministicAcrossWorkers|TestClusterServesLinearizably' ./internal/cluster/
+}
+
+run_cluster() {
+	run_cluster_tests
+	run_bench
+}
+
 if [ "${1:-}" = "bench" ]; then
 	run_bench
 	exit 0
 fi
 if [ "${1:-}" = "shard" ]; then
 	run_shard
+	exit 0
+fi
+if [ "${1:-}" = "cluster" ]; then
+	run_cluster
 	exit 0
 fi
 
@@ -104,6 +128,8 @@ go test -run 'TestCritPathGolden|TestTracestatByteIdenticalAcrossSchedulers' ./i
 go test -run 'TestGoToolPprofAcceptsExport' ./internal/profile/
 
 run_shard
+
+run_cluster_tests
 
 run_bench
 

@@ -9,6 +9,7 @@
 //	figures -fig 2b       # bursty-loss variant of Fig. 2 (not in "all")
 //	figures -fig scale    # fleet scaling, 1-8 SmartDIMM ranks (not in "all")
 //	figures -fig shard    # sharded-engine wall-clock scaling (not in "all")
+//	figures -fig failover # cluster availability across a node kill (not in "all")
 //	figures -table 1      # Table I
 //	figures -power        # §VII-D power/area model
 //	figures -scale paper  # testbed-scale workloads (slower)
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,breakdown,critpath); empty = all (2b, scale, breakdown, critpath excluded)")
+	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,shard,failover,breakdown,critpath); empty = all (non-paper figures excluded)")
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
@@ -70,6 +71,9 @@ func main() {
 	if *fig == "shard" {
 		figShard()
 	}
+	if *fig == "failover" {
+		figFailover()
+	}
 	if *fig == "breakdown" {
 		figBreakdown(pool, sc)
 	}
@@ -105,6 +109,25 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "figures:", err)
 	os.Exit(1)
+}
+
+// figFailover replays the cluster failover schedule — node 0 (the
+// initial primary of every replication group) killed mid-run, backups
+// promoting, the victim rejoining — and prints the bucketed
+// availability/goodput timeline plus the linearizability verdict
+// (robustness extension; not a paper figure).
+func figFailover() {
+	fmt.Println("=== Cluster failover: availability/goodput across a node kill + promotion ===")
+	fmt.Println("model: 3-node primary-backup cluster, quorum-ack writes; node 0 killed at 6ms,")
+	fmt.Println("       rejoins at 14ms; every bucket counts client-acked operations")
+	res, err := experiments.Failover(21)
+	if err != nil {
+		fail(err)
+	}
+	if err := res.WriteFailoverTimeline(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Println()
 }
 
 func fig2(pool *runner.Pool) {

@@ -40,6 +40,7 @@ func main() {
 	pprofPath := flag.String("pprof", "", "write the profile as gzipped pprof protobuf to this file")
 	fromPs := flag.Int64("from-ps", 0, "critical path: ignore requests starting before this simulated time")
 	toPs := flag.Int64("to-ps", 0, "critical path: ignore requests ending after this simulated time")
+	shards := flag.Bool("shards", false, "critical path: merged multi-shard trace (per-shard attribution, shared fe/rt planes)")
 
 	bench := flag.Bool("bench", false, "run the pinned KPI regression scenarios instead of analyzing a trace")
 	baseline := flag.String("baseline", "BENCH_baseline.json", "bench: committed baseline to compare against")
@@ -54,7 +55,7 @@ func main() {
 			fatal(err)
 		}
 	case *tracePath != "":
-		if err := runTrace(*tracePath, *tree, *top, *critpath, *waterfall, *pprofPath, *fromPs, *toPs); err != nil {
+		if err := runTrace(*tracePath, *tree, *top, *critpath, *waterfall, *pprofPath, *fromPs, *toPs, *shards); err != nil {
 			fatal(err)
 		}
 	default:
@@ -66,7 +67,7 @@ func main() {
 // runTrace loads one trace and renders the requested views. With no
 // view flags, the profile tree and the critical-path table both print —
 // the "what happened in this run" default.
-func runTrace(path string, tree bool, top int, critpath bool, waterfall int, pprofPath string, fromPs, toPs int64) error {
+func runTrace(path string, tree bool, top int, critpath bool, waterfall int, pprofPath string, fromPs, toPs int64, shards bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -92,7 +93,7 @@ func runTrace(path string, tree bool, top int, critpath bool, waterfall int, ppr
 		}
 	}
 	if critpath || waterfall > 0 || wantAll {
-		cp := profile.Analyze(tracks, events, profile.Options{FromPs: fromPs, ToPs: toPs})
+		cp := profile.Analyze(tracks, events, profile.Options{FromPs: fromPs, ToPs: toPs, ShardAware: shards})
 		if critpath || wantAll {
 			if wantAll {
 				fmt.Fprintln(w)
@@ -148,8 +149,12 @@ func runBench(baselinePath, outPath string, tol float64, updateBaseline bool) er
 	}
 	for _, r := range rep.Scenarios {
 		if wall, ok := r.KPIs["wall_seconds"]; ok {
+			req := r.KPIs["requests"]
+			if _, ok := r.KPIs["ops"]; ok { // cluster scenarios count client ops
+				req = r.KPIs["ops"]
+			}
 			fmt.Printf("bench: %-16s %8.0f req  %6.2f wall-s  %8.0f sim-req/wall-s\n",
-				r.Name, r.KPIs["requests"], wall, r.KPIs["sim_req_per_wall_s"])
+				r.Name, req, wall, r.KPIs["sim_req_per_wall_s"])
 		}
 	}
 	if updateBaseline {

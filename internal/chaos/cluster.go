@@ -1,0 +1,261 @@
+// Cluster chaos: the replication-tier soak. Each schedule derives a
+// random fault plan from its seed — node kills with later rejoins,
+// symmetric and asymmetric network partitions, a graceful drain, and
+// background per-link packet loss — runs it against a replicated
+// cluster through warmup -> chaos -> heal -> settle phases, and then
+// replays the recorded client history through the linearizability
+// checker: no client-acked write may be lost, no read may travel back
+// in time, regardless of what the schedule did to the nodes.
+//
+// Every schedule is seed-replayable and renders to one canonical report
+// string; the cluster determinism gate requires the report and the
+// merged trace byte-identical across ExecWorkers/GOMAXPROCS, so the
+// soak doubles as a nondeterminism detector for the failover paths.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// ClusterSoakConfig sizes one RunCluster schedule.
+type ClusterSoakConfig struct {
+	Nodes       int   // server nodes (default 3)
+	Conns       int   // client connections (default 4)
+	WarmupPs    int64 // leader election + steady state (default 2ms)
+	ChaosPs     int64 // fault window (default 6ms)
+	SettlePs    int64 // post-heal catch-up before checking (default 3ms)
+	ExecWorkers int   // epoch parallelism: 0 = GOMAXPROCS, 1 = serial
+	Trace       bool  // thread per-shard tracers through the run
+}
+
+// ClusterReport is one schedule's canonical outcome.
+type ClusterReport struct {
+	Seed  int64
+	Nodes int
+	// Schedule lists the derived fault plan, one canonical line per
+	// event, in firing order.
+	Schedule []string
+	// Client-observed outcome over the chaos window.
+	Ops         uint64
+	AckedWrites uint64
+	AckedReads  uint64
+	Timeouts    uint64
+	Retries     uint64
+	Promotions  uint64
+	Net         cluster.NetTotals
+	// Check is the linearizability verdict; Violations folds its
+	// breaches plus soak-level liveness checks.
+	Check      cluster.CheckReport
+	Violations []string
+}
+
+// Ok reports whether the schedule passed every invariant.
+func (r ClusterReport) Ok() bool { return len(r.Violations) == 0 && r.Check.Ok() }
+
+// Collect implements telemetry.Collector.
+func (r ClusterReport) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "seed", Value: float64(r.Seed)})
+	emit(telemetry.Sample{Name: "nodes", Value: float64(r.Nodes)})
+	emit(telemetry.Sample{Name: "ops", Value: float64(r.Ops)})
+	emit(telemetry.Sample{Name: "acked_writes", Value: float64(r.AckedWrites)})
+	emit(telemetry.Sample{Name: "acked_reads", Value: float64(r.AckedReads)})
+	emit(telemetry.Sample{Name: "timeouts", Value: float64(r.Timeouts)})
+	emit(telemetry.Sample{Name: "retries", Value: float64(r.Retries)})
+	emit(telemetry.Sample{Name: "promotions", Value: float64(r.Promotions)})
+	emit(telemetry.Sample{Name: "check_violations", Value: float64(r.Check.ViolationCount)})
+	emit(telemetry.Sample{Name: "violations", Value: float64(len(r.Violations))})
+}
+
+// String renders the canonical soak transcript — the byte-compared
+// artifact of the cluster determinism gate.
+func (r ClusterReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster chaos seed=%d nodes=%d\n", r.Seed, r.Nodes)
+	for _, s := range r.Schedule {
+		fmt.Fprintf(&b, "  plan %s\n", s)
+	}
+	fmt.Fprintf(&b, "ops=%d acked_writes=%d acked_reads=%d timeouts=%d retries=%d promotions=%d\n",
+		r.Ops, r.AckedWrites, r.AckedReads, r.Timeouts, r.Retries, r.Promotions)
+	fmt.Fprintf(&b, "net sent=%d dropped=%d retrans=%d delivered=%d expired=%d\n",
+		r.Net.Sent, r.Net.Dropped, r.Net.Retrans, r.Net.Delivered, r.Net.Expired)
+	b.WriteString(r.Check.String())
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "VIOLATION: %s\n", v)
+	}
+	return b.String()
+}
+
+// clusterSchedule is the fault plan derived from one seed.
+type clusterSchedule struct {
+	lines      []string
+	kills      [][2]int64 // per victim: [killPs, rejoinPs)
+	victims    []int
+	partitions fault.Partitions
+	lossProb   float64
+	drainNode  int // -1 = none
+	drainAt    int64
+	undrainAt  int64
+}
+
+// deriveSchedule rolls a fault plan inside [warmup, warmup+chaos): one
+// or two node kills (distinct victims, rejoining before heal), one to
+// three partition windows over random endpoint splits (router
+// included; asymmetric half the time), background per-link loss, and —
+// half the time — a drain of a surviving node.
+func deriveSchedule(rng *rand.Rand, nodes int, warmupPs, chaosPs int64) clusterSchedule {
+	sc := clusterSchedule{drainNode: -1}
+	healPs := warmupPs + chaosPs
+	span := func(maxFrac float64) (int64, int64) {
+		from := warmupPs + int64(rng.Float64()*0.5*float64(chaosPs))
+		dur := int64((0.1 + rng.Float64()*maxFrac) * float64(chaosPs))
+		to := from + dur
+		if to > healPs {
+			to = healPs
+		}
+		return from, to
+	}
+
+	nKills := 1 + rng.Intn(2)
+	perm := rng.Perm(nodes)
+	for k := 0; k < nKills; k++ {
+		victim := perm[k]
+		from, to := span(0.4)
+		sc.victims = append(sc.victims, victim)
+		sc.kills = append(sc.kills, [2]int64{from, to})
+		sc.lines = append(sc.lines, fmt.Sprintf("kill node=%d at=%dps rejoin=%dps", victim, from, to))
+	}
+
+	nParts := 1 + rng.Intn(3)
+	for p := 0; p < nParts; p++ {
+		// Split the endpoint space (0 = router, 1+i = node i) into two
+		// non-empty sides.
+		eps := rng.Perm(nodes + 1)
+		cut := 1 + rng.Intn(nodes)
+		a := append([]int(nil), eps[:cut]...)
+		b := append([]int(nil), eps[cut:]...)
+		sort.Ints(a)
+		sort.Ints(b)
+		from, to := span(0.3)
+		part := fault.Partition{FromPs: from, ToPs: to, A: a, B: b, OneWay: rng.Intn(2) == 0}
+		sc.partitions = append(sc.partitions, part)
+		sc.lines = append(sc.lines, fmt.Sprintf("partition a=%v b=%v from=%dps to=%dps oneway=%v",
+			a, b, from, to, part.OneWay))
+	}
+
+	sc.lossProb = 0.002 + rng.Float64()*0.01
+	sc.lines = append(sc.lines, fmt.Sprintf("loss prob=%.4f", sc.lossProb))
+
+	if rng.Intn(2) == 0 {
+		// Drain a node that is not being killed, if one exists.
+		for _, cand := range perm[nKills:] {
+			sc.drainNode = cand
+			break
+		}
+		if sc.drainNode >= 0 {
+			sc.drainAt, _ = span(0.2)
+			sc.undrainAt = healPs
+			sc.lines = append(sc.lines, fmt.Sprintf("drain node=%d at=%dps undrain=%dps",
+				sc.drainNode, sc.drainAt, sc.undrainAt))
+		}
+	}
+	return sc
+}
+
+// RunCluster executes one seed-replayable cluster chaos schedule and
+// checks it. The returned error reports harness construction failures
+// only; invariant breaches land in the report. The cluster comes back
+// alongside so callers can fingerprint its merged trace.
+func RunCluster(seed int64, cfg ClusterSoakConfig) (ClusterReport, *cluster.Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.WarmupPs <= 0 {
+		cfg.WarmupPs = 2 * sim.Ms
+	}
+	if cfg.ChaosPs <= 0 {
+		cfg.ChaosPs = 6 * sim.Ms
+	}
+	if cfg.SettlePs <= 0 {
+		cfg.SettlePs = 3 * sim.Ms
+	}
+	rep := ClusterReport{Seed: seed, Nodes: cfg.Nodes}
+
+	sched := deriveSchedule(rand.New(rand.NewSource(seed^0x5eed)), cfg.Nodes, cfg.WarmupPs, cfg.ChaosPs)
+	rep.Schedule = sched.lines
+
+	c, err := cluster.New(cluster.Config{
+		Nodes: cfg.Nodes, Conns: cfg.Conns,
+		MsgSize: 1024, Workers: 2, NodeConns: 2,
+		FileKind: corpus.Text, Seed: seed,
+		Trace: cfg.Trace, ExecWorkers: cfg.ExecWorkers,
+		NetFaults: func(ep int) *fault.Injector {
+			// One injector per endpoint (shard-owned), every endpoint
+			// arming the same value-typed partition windows — that is how
+			// a partition cuts both directions from two different
+			// injectors without shared state. Loss streams stay
+			// per-endpoint-independent via the injector seed.
+			inj := fault.New(seed + int64(ep)*7919)
+			inj.Arm(cluster.SiteNetCut, sched.partitions)
+			for d := 0; d <= cfg.Nodes; d++ {
+				if d != ep {
+					inj.Arm(fmt.Sprintf("%s.%d", cluster.SiteNetDrop, d), fault.Bernoulli{Prob: sched.lossProb})
+				}
+			}
+			return inj
+		},
+	})
+	if err != nil {
+		return rep, nil, err
+	}
+	for k, victim := range sched.victims {
+		c.KillAt(victim, sched.kills[k][0])
+		c.RejoinAt(victim, sched.kills[k][1])
+	}
+	if sched.drainNode >= 0 {
+		c.DrainAt(sched.drainNode, sched.drainAt)
+		c.UndrainAt(sched.drainNode, sched.undrainAt)
+	}
+
+	healPs := cfg.WarmupPs + cfg.ChaosPs
+	c.Start()
+	c.RunUntil(cfg.WarmupPs)
+	c.BeginMeasurement()
+	c.RunUntil(healPs)          // partitions end, victims rejoined
+	c.RunUntil(healPs + sim.Ms) // post-heal serving window (availability proof)
+	m, err := c.Collect()
+	if err != nil {
+		return rep, c, err
+	}
+	c.Quiesce(cfg.SettlePs)
+
+	rep.Ops, rep.AckedWrites, rep.AckedReads = m.Ops, m.AckedWrites, m.AckedReads
+	rep.Timeouts, rep.Retries, rep.Promotions = m.Timeouts, m.Retries, m.Promotions
+	rep.Net = c.Net().Totals()
+	rep.Check = c.Check()
+	healed := false
+	for _, op := range c.History() {
+		if op.Kind == cluster.OpWrite && op.AckPs >= healPs {
+			healed = true
+			break
+		}
+	}
+	if !healed {
+		rep.Violations = append(rep.Violations, "no write acked after heal (availability did not recover)")
+	}
+	if rep.Net.Dropped == 0 {
+		rep.Violations = append(rep.Violations, "schedule dropped no messages — chaos not wired through")
+	}
+	return rep, c, nil
+}

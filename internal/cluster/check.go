@@ -1,0 +1,245 @@
+// The linearizability checker: replays the router's recorded operation
+// history and inspects the final replica state, exploiting the workload
+// shape — every key is a single-writer register with strictly
+// increasing versions — to check linearizability in O(n log n) instead
+// of search:
+//
+//   - No lost acked write: every client-acked write's WID must sit in
+//     the committed prefix of every member of its group (run the
+//     checker after partitions heal and a settle window lets the
+//     primaries catch everyone up).
+//   - Prefix consistency: all members of a group agree on the common
+//     committed prefix, entry for entry.
+//   - Read validity: an observed version must belong to a write invoked
+//     before the read acked (values cannot come from the future).
+//   - Read freshness: a read must observe at least the highest version
+//     whose write acked before the read was invoked (the real-time bound
+//     that makes primary-lease reads linearizable, not merely
+//     sequential).
+//   - Monotonic reads: across ALL clients, a read invoked after another
+//     read acked can never observe an older version (no causality
+//     reversal through a stale ex-primary).
+//   - Election safety: at most one leader per (group, term), and after
+//     healing each group has a leader again (liveness).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CheckReport is the canonical verdict over one run.
+type CheckReport struct {
+	Ops         int
+	AckedWrites int
+	AckedReads  int
+	Unacked     int
+	// Violations lists every invariant breach in a canonical order,
+	// capped at maxViolations (the count keeps the true total).
+	Violations     []string
+	ViolationCount int
+}
+
+const maxViolations = 32
+
+// Ok reports whether every invariant held.
+func (r CheckReport) Ok() bool { return r.ViolationCount == 0 }
+
+// String renders the canonical report — the byte-compared artifact of
+// the chaos determinism gates.
+func (r CheckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops=%d acked_writes=%d acked_reads=%d unacked=%d violations=%d\n",
+		r.Ops, r.AckedWrites, r.AckedReads, r.Unacked, r.ViolationCount)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION %s\n", v)
+	}
+	return b.String()
+}
+
+func (r *CheckReport) violate(format string, args ...interface{}) {
+	r.ViolationCount++
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Check runs every invariant against the recorded history and the
+// replicas' final state. Call it only after the fault schedule has
+// healed and a settle window has run.
+func (c *Cluster) Check() CheckReport {
+	var rep CheckReport
+	hist := c.rt.history
+	rep.Ops = len(hist)
+	for i := range hist {
+		op := &hist[i]
+		switch {
+		case op.AckPs < 0:
+			rep.Unacked++
+		case op.Kind == OpWrite:
+			rep.AckedWrites++
+		default:
+			rep.AckedReads++
+		}
+	}
+	c.checkDurability(&rep)
+	c.checkPrefixes(&rep)
+	c.checkReads(&rep)
+	c.checkElections(&rep)
+	return rep
+}
+
+// checkDurability: no client-acked write may be missing from any
+// member's committed prefix.
+func (c *Cluster) checkDurability(rep *CheckReport) {
+	hist := c.rt.history
+	for i := range hist {
+		op := &hist[i]
+		if op.Kind != OpWrite || op.AckPs < 0 {
+			continue
+		}
+		for _, m := range c.groups[op.Group] {
+			r := c.nodes[m].reps[op.Group]
+			idx, ok := r.widIdx[op.WID]
+			if !ok || idx > r.commit {
+				rep.violate("lost-acked-write op=%d wid=%d key=%d group=%d node=%d (acked at %dps)",
+					op.ID, op.WID, op.Key, op.Group, m, op.AckPs)
+			}
+		}
+	}
+}
+
+// checkPrefixes: every pair of members agrees on the shared committed
+// prefix, and no replica ever truncated below its commit point.
+func (c *Cluster) checkPrefixes(rep *CheckReport) {
+	for g, members := range c.groups {
+		ref := c.nodes[members[0]].reps[g]
+		for _, m := range members[1:] {
+			r := c.nodes[m].reps[g]
+			n := ref.commit
+			if r.commit < n {
+				n = r.commit
+			}
+			for i := 0; i < n; i++ {
+				if ref.log[i] != r.log[i] {
+					rep.violate("divergent-committed-prefix group=%d idx=%d node=%d has {t%d k%d v%d} node=%d has {t%d k%d v%d}",
+						g, i+1, members[0], ref.log[i].Term, ref.log[i].Key, ref.log[i].Ver,
+						m, r.log[i].Term, r.log[i].Key, r.log[i].Ver)
+					break
+				}
+			}
+		}
+		for _, m := range members {
+			if tb := c.nodes[m].reps[g].truncBelowCommit; tb > 0 {
+				rep.violate("truncate-below-commit group=%d node=%d count=%d", g, m, tb)
+			}
+		}
+	}
+}
+
+// checkReads: validity, freshness, and global monotonicity per key.
+func (c *Cluster) checkReads(rep *CheckReport) {
+	hist := c.rt.history
+	type writeRec struct{ invokePs, ackPs, ver int64 }
+	writesByWID := map[uint64]writeRec{}
+	ackedByKey := map[int][]writeRec{}
+	for i := range hist {
+		op := &hist[i]
+		if op.Kind != OpWrite {
+			continue
+		}
+		w := writeRec{invokePs: op.InvokePs, ackPs: op.AckPs, ver: op.Ver}
+		writesByWID[op.WID] = w
+		if op.AckPs >= 0 {
+			ackedByKey[op.Key] = append(ackedByKey[op.Key], w)
+		}
+	}
+	readsByKey := map[int][]*Op{}
+	for i := range hist {
+		op := &hist[i]
+		if op.Kind == OpRead && op.AckPs >= 0 {
+			readsByKey[op.Key] = append(readsByKey[op.Key], op)
+		}
+	}
+	keys := make([]int, 0, len(readsByKey))
+	for k := range readsByKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		reads := readsByKey[k]
+		// Validity: the observed write must exist and have been invoked
+		// before the read completed.
+		for _, rd := range reads {
+			if rd.ObsVer == 0 {
+				continue // observed the empty register
+			}
+			w, ok := writesByWID[rd.ObsWID]
+			if !ok || w.ver != rd.ObsVer {
+				rep.violate("read-unknown-value op=%d key=%d obs_ver=%d obs_wid=%d", rd.ID, k, rd.ObsVer, rd.ObsWID)
+				continue
+			}
+			if w.invokePs > rd.AckPs {
+				rep.violate("read-from-future op=%d key=%d obs_ver=%d write invoked %dps after read ack", rd.ID, k, rd.ObsVer, w.invokePs-rd.AckPs)
+			}
+		}
+		// Freshness: two-pointer sweep over writes acked before each
+		// read's invocation. Versions per key increase with invocation
+		// order (the single-writer discipline), so the floor is a max.
+		writes := ackedByKey[k]
+		sort.Slice(writes, func(a, b int) bool { return writes[a].ackPs < writes[b].ackPs })
+		byInvoke := append([]*Op(nil), reads...)
+		sort.Slice(byInvoke, func(a, b int) bool { return byInvoke[a].InvokePs < byInvoke[b].InvokePs })
+		wi, floor := 0, int64(0)
+		for _, rd := range byInvoke {
+			for wi < len(writes) && writes[wi].ackPs <= rd.InvokePs {
+				if writes[wi].ver > floor {
+					floor = writes[wi].ver
+				}
+				wi++
+			}
+			if rd.ObsVer < floor {
+				rep.violate("stale-read op=%d key=%d obs_ver=%d floor=%d", rd.ID, k, rd.ObsVer, floor)
+			}
+		}
+		// Monotonic reads, globally: sweep reads by invocation, folding
+		// in the observations of reads that acked before.
+		byAck := append([]*Op(nil), reads...)
+		sort.Slice(byAck, func(a, b int) bool { return byAck[a].AckPs < byAck[b].AckPs })
+		ri, seen := 0, int64(0)
+		for _, rd := range byInvoke {
+			for ri < len(byAck) && byAck[ri].AckPs <= rd.InvokePs {
+				if byAck[ri].ObsVer > seen {
+					seen = byAck[ri].ObsVer
+				}
+				ri++
+			}
+			if rd.ObsVer < seen {
+				rep.violate("non-monotonic-read op=%d key=%d obs_ver=%d earlier read saw %d", rd.ID, k, rd.ObsVer, seen)
+			}
+		}
+	}
+}
+
+// checkElections: at most one leader per (group, term) in the final
+// state, and — after healing — at least one leader per group.
+func (c *Cluster) checkElections(rep *CheckReport) {
+	for g, members := range c.groups {
+		leaders := 0
+		byTerm := map[int64]int{}
+		for _, m := range members {
+			r := c.nodes[m].reps[g]
+			if r.state == leader {
+				leaders++
+				byTerm[r.term]++
+				if byTerm[r.term] > 1 {
+					rep.violate("split-brain group=%d term=%d", g, r.term)
+				}
+			}
+		}
+		if leaders == 0 {
+			rep.violate("no-leader group=%d after heal+settle", g)
+		}
+	}
+}

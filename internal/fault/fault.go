@@ -36,6 +36,9 @@ type Event struct {
 	Site string
 	Seq  int64 // 1-based consultation number at this site
 	Now  int64 // caller-supplied timestamp (ps or cycles, site-defined)
+	// Link identifies the directed link of a FireLink consultation
+	// ("src>dst"); empty for plain Fire sites.
+	Link string
 }
 
 // Plan decides whether a given consultation of a site fires. The rng is
@@ -99,6 +102,73 @@ type burstState struct {
 
 func (b *burstState) fire(rng *rand.Rand, _, _ int64) bool {
 	return b.cfg.step(rng, &b.bad)
+}
+
+// linkPlan is implemented by plans that decide per directed link
+// (src, dst) rather than per bare consultation — node-level network
+// partitions. FireLink consults it; plans without it fall back to fire,
+// ignoring direction.
+type linkPlan interface {
+	cuts(src, dst int, now int64) bool
+}
+
+// Partition is a windowed node-level network partition: while
+// FromPs <= now < ToPs, traffic from any node in A to any node in B is
+// cut (and B to A too, unless OneWay makes the partition asymmetric).
+// Nodes appearing in neither set are unaffected. Arm it on the site the
+// network layer consults through FireLink; as a plain Fire plan it
+// reports only whether the window is active, direction-blind.
+type Partition struct {
+	FromPs, ToPs int64
+	A, B         []int
+	// OneWay cuts only the A->B direction, modelling asymmetric
+	// partitions (a node that can send but not receive, or vice versa).
+	OneWay bool
+}
+
+func (p Partition) active(now int64) bool { return now >= p.FromPs && now < p.ToPs }
+
+func (p Partition) fire(_ *rand.Rand, _, now int64) bool { return p.active(now) }
+
+func (p Partition) cuts(src, dst int, now int64) bool {
+	if !p.active(now) {
+		return false
+	}
+	if contains(p.A, src) && contains(p.B, dst) {
+		return true
+	}
+	return !p.OneWay && contains(p.B, src) && contains(p.A, dst)
+}
+
+// Partitions composes several Partition windows into one plan: a link
+// is cut while any member cuts it.
+type Partitions []Partition
+
+func (ps Partitions) fire(rng *rand.Rand, seq, now int64) bool {
+	for _, p := range ps {
+		if p.fire(rng, seq, now) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ps Partitions) cuts(src, dst int, now int64) bool {
+	for _, p := range ps {
+		if p.cuts(src, dst, now) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // site is one named injection point with its plan, private RNG and
@@ -185,6 +255,19 @@ func (in *Injector) DisarmAll() {
 // Fire reports whether the named site faults at this consultation.
 // Nil receivers and unarmed sites never fire.
 func (in *Injector) Fire(name string, now int64) bool {
+	return in.fire(name, now, -1, -1)
+}
+
+// FireLink reports whether the named site cuts the directed link
+// src -> dst at this consultation. Plans that understand direction
+// (Partition, Partitions) decide per link; any other armed plan falls
+// back to its ordinary consultation, direction-blind — so a Bernoulli
+// loss plan on a link site behaves like uncorrelated per-message loss.
+func (in *Injector) FireLink(name string, src, dst int, now int64) bool {
+	return in.fire(name, now, src, dst)
+}
+
+func (in *Injector) fire(name string, now int64, src, dst int) bool {
 	if in == nil {
 		return false
 	}
@@ -196,11 +279,20 @@ func (in *Injector) Fire(name string, now int64) bool {
 	}
 	s.seq++
 	in.total++
-	if !s.plan.fire(s.rng, s.seq, now) {
+	directed := src >= 0
+	if lp, ok := s.plan.(linkPlan); ok && directed {
+		if !lp.cuts(src, dst, now) {
+			return false
+		}
+	} else if !s.plan.fire(s.rng, s.seq, now) {
 		return false
 	}
 	in.fired++
-	in.trace = append(in.trace, Event{Site: name, Seq: s.seq, Now: now})
+	ev := Event{Site: name, Seq: s.seq, Now: now}
+	if directed {
+		ev.Link = fmt.Sprintf("%d>%d", src, dst)
+	}
+	in.trace = append(in.trace, ev)
 	if in.OnFire != nil {
 		in.OnFire(name, s.seq, now)
 	}
@@ -235,7 +327,11 @@ func (in *Injector) Trace() []Event {
 func (in *Injector) TraceString() string {
 	var b strings.Builder
 	for _, e := range in.Trace() {
-		fmt.Fprintf(&b, "%s seq=%d now=%d\n", e.Site, e.Seq, e.Now)
+		if e.Link != "" {
+			fmt.Fprintf(&b, "%s seq=%d now=%d link=%s\n", e.Site, e.Seq, e.Now, e.Link)
+		} else {
+			fmt.Fprintf(&b, "%s seq=%d now=%d\n", e.Site, e.Seq, e.Now)
+		}
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -134,5 +135,109 @@ func TestCountsAndSites(t *testing.T) {
 	s := in.Sites()
 	if len(s) != 2 || s[0] != "x" || s[1] != "y" {
 		t.Fatalf("sites = %v", s)
+	}
+}
+
+// TestPartitionCutsDirections pins the Partition plan's link semantics:
+// symmetric partitions cut both directions inside the window, OneWay
+// cuts only A->B, and uninvolved endpoints are never cut.
+func TestPartitionCutsDirections(t *testing.T) {
+	in := New(11)
+	in.Arm("cut", Partition{FromPs: 100, ToPs: 200, A: []int{0, 1}, B: []int{2}})
+	cases := []struct {
+		src, dst int
+		now      int64
+		want     bool
+	}{
+		{0, 2, 150, true},  // A->B inside window
+		{2, 1, 150, true},  // B->A inside window (symmetric)
+		{0, 1, 150, false}, // intra-A traffic unaffected
+		{0, 3, 150, false}, // endpoint in neither set
+		{0, 2, 50, false},  // before the window
+		{0, 2, 200, false}, // window end is exclusive
+	}
+	for _, c := range cases {
+		if got := in.FireLink("cut", c.src, c.dst, c.now); got != c.want {
+			t.Fatalf("FireLink(%d>%d, now=%d) = %v, want %v", c.src, c.dst, c.now, got, c.want)
+		}
+	}
+
+	one := New(12)
+	one.Arm("cut", Partition{FromPs: 0, ToPs: 100, A: []int{0}, B: []int{1}, OneWay: true})
+	if !one.FireLink("cut", 0, 1, 50) {
+		t.Fatal("asymmetric partition must cut A->B")
+	}
+	if one.FireLink("cut", 1, 0, 50) {
+		t.Fatal("asymmetric partition must not cut B->A")
+	}
+}
+
+// TestPartitionsCompose checks that a Partitions plan cuts a link while
+// any member window does, and that the same value can arm several
+// injectors (both directions of a link decided from different senders)
+// consistently.
+func TestPartitionsCompose(t *testing.T) {
+	plan := Partitions{
+		{FromPs: 0, ToPs: 50, A: []int{0}, B: []int{1}},
+		{FromPs: 100, ToPs: 150, A: []int{1}, B: []int{2}, OneWay: true},
+	}
+	a, b := New(1), New(2) // distinct seeds: decisions must not depend on RNG
+	a.Arm("cut", plan)
+	b.Arm("cut", plan)
+	type q struct {
+		src, dst int
+		now      int64
+		want     bool
+	}
+	for _, c := range []q{
+		{0, 1, 25, true}, {1, 0, 25, true}, {1, 2, 25, false},
+		{1, 2, 125, true}, {2, 1, 125, false}, {0, 1, 125, false},
+		{0, 1, 75, false},
+	} {
+		ga := a.FireLink("cut", c.src, c.dst, c.now)
+		gb := b.FireLink("cut", c.src, c.dst, c.now)
+		if ga != c.want || gb != c.want {
+			t.Fatalf("Partitions(%d>%d, now=%d): a=%v b=%v want %v", c.src, c.dst, c.now, ga, gb, c.want)
+		}
+	}
+}
+
+// TestPartitionTraceRecordsLinks pins seed-reproducibility and the
+// directed-event trace form: same seed and consultation sequence, same
+// canonical trace, with link=src>dst annotations on directed events.
+func TestPartitionTraceRecordsLinks(t *testing.T) {
+	run := func() string {
+		in := New(33)
+		in.Arm("cut", Partition{FromPs: 10, ToPs: 30, A: []int{0}, B: []int{1}})
+		in.Arm("drop", Bernoulli{Prob: 0.5})
+		for now := int64(0); now < 40; now += 5 {
+			in.FireLink("cut", 0, 1, now)
+			in.FireLink("drop", 1, 0, now)
+		}
+		return in.TraceString()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different link traces:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, "link=0>1") {
+		t.Fatalf("directed trace missing link annotation:\n%s", a)
+	}
+	// The direction-blind fallback must also record its link.
+	if !strings.Contains(a, "link=1>0") {
+		t.Fatalf("fallback consultation missing link annotation:\n%s", a)
+	}
+}
+
+// TestFireLinkFallsBackUndirected: a directionless plan consulted via
+// FireLink behaves exactly like Fire (same stream, same decisions).
+func TestFireLinkFallsBackUndirected(t *testing.T) {
+	direct, linked := New(5), New(5)
+	direct.Arm("x", Bernoulli{Prob: 0.4})
+	linked.Arm("x", Bernoulli{Prob: 0.4})
+	for i := int64(0); i < 200; i++ {
+		if direct.Fire("x", i) != linked.FireLink("x", 3, 4, i) {
+			t.Fatalf("FireLink fallback diverged from Fire at consultation %d", i)
+		}
 	}
 }

@@ -99,6 +99,7 @@ type Sharded struct {
 	tracers []*telemetry.Tracer // index 0 = front-end, 1+s = shard s
 	perConn []int               // connection count per shard
 
+	dispTrack  telemetry.TrackID // fe-tracer lane for fabric spans
 	dispatched uint64
 }
 
@@ -186,6 +187,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	if cfg.Trace {
 		sc.tracers[0] = telemetry.New()
 		sc.eng.Shard(0).Tracer = sc.tracers[0]
+		sc.dispTrack = sc.tracers[0].Track("dispatch")
 	}
 	sc.perConn = make([]int, cfg.Shards)
 	for c := 0; c < cfg.Connections; c++ {
@@ -241,15 +243,29 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 // Submit implements wrkgen.Target on the front-end shard: the request
 // crosses to its connection's home shard over the dispatch fabric, and
 // the completion crosses back — each hop one DispatchPs, together the
-// wire RTT every request pays.
+// wire RTT every request pays. With tracing on, the front-end wraps the
+// whole crossing in a "creq" async lifecycle and records each fabric
+// hop as a "dispatch" span, so the critical-path analyzer can attribute
+// dispatch-fabric wait across shards (profile.Options.ShardAware). Both
+// the forward emission and the retroactive return-hop emission run on
+// shard 0 events, keeping the fe tracer single-writer.
 func (sc *Sharded) Submit(connID int, done func()) {
 	s := connID % sc.cfg.Shards
 	local := connID / sc.cfg.Shards
 	srv := sc.servers[s]
 	sc.dispatched++
+	id := sc.dispatched
+	tr := sc.tracers[0]
+	fe := sc.eng.Shard(0)
+	tr.AsyncBegin(sc.dispTrack, "creq", id, fe.Now())
+	tr.Span(sc.dispTrack, "dispatch", fe.Now(), sc.cfg.DispatchPs)
 	sc.eng.Send(0, 1+s, sc.cfg.DispatchPs, func() {
 		srv.Submit(local, func() {
-			sc.eng.Send(1+s, 0, sc.cfg.DispatchPs, done)
+			sc.eng.Send(1+s, 0, sc.cfg.DispatchPs, func() {
+				tr.Span(sc.dispTrack, "dispatch", fe.Now()-sc.cfg.DispatchPs, sc.cfg.DispatchPs)
+				tr.AsyncEnd(sc.dispTrack, "creq", id, fe.Now())
+				done()
+			})
 		})
 	})
 }

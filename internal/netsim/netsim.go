@@ -51,6 +51,11 @@ type LinkConfig struct {
 	// packet clears the transmitter. Zero disables flapping.
 	FlapEveryPs int64
 	FlapDownPs  int64
+	// FlapPhasePs shifts the flap schedule: the first down window opens
+	// at FlapPhasePs instead of 0, so an outage can hit mid-stream
+	// instead of always eating the opening burst. The link is up before
+	// the phase point.
+	FlapPhasePs int64
 }
 
 // Link is a serialized, lossy, optionally reordering link.
@@ -141,6 +146,10 @@ func (l *Link) BusyUntil() int64 { return l.busy }
 // flapDown reports whether the link is inside a down window at time t.
 func (l *Link) flapDown(t int64) bool {
 	if l.cfg.FlapEveryPs <= 0 || l.cfg.FlapDownPs <= 0 {
+		return false
+	}
+	t -= l.cfg.FlapPhasePs
+	if t < 0 {
 		return false
 	}
 	return t%l.cfg.FlapEveryPs < l.cfg.FlapDownPs

@@ -35,7 +35,12 @@ func MeasureGoodput(p sim.Params, hook ULPHook, dropProb float64, total int64, s
 	})
 	cfg := DefaultConfig()
 	cfg.MSS = p.MTUBytes - 40
-	sender, recv := NewTransfer(eng, data, ack, cfg, hook, total)
+	sender, recv, err := NewTransfer(eng, data, ack, cfg, hook, total)
+	if err != nil {
+		// Inputs are internally derived; an error here means a broken
+		// caller, reported as a never-completed zero-goodput point.
+		return GoodputResult{DropProb: dropProb}
+	}
 
 	// Bound the run: generous deadline scaled to the ideal time.
 	ideal := int64(float64(total*8) / (p.LinkGbps * 1e9) * 1e12)
@@ -92,7 +97,12 @@ func MeasureGoodputBursty(p sim.Params, hook ULPHook, net BurstyNet, total int64
 	})
 	cfg := DefaultConfig()
 	cfg.MSS = p.MTUBytes - 40
-	sender, recv := NewTransfer(eng, data, ack, cfg, hook, total)
+	sender, recv, err := NewTransfer(eng, data, ack, cfg, hook, total)
+	if err != nil {
+		// Inputs are internally derived; an error here means a broken
+		// caller, reported as a never-completed zero-goodput point.
+		return GoodputResult{DropProb: net.DropProb}
+	}
 
 	ideal := int64(float64(total*8) / (p.LinkGbps * 1e9) * 1e12)
 	deadline := 200*ideal + 2*sim.S

@@ -9,9 +9,22 @@
 package nettcp
 
 import (
+	"errors"
+
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+)
+
+// Typed construction errors. Replication rides this path (the cluster
+// tier's inter-node fabric reuses the same link model), so a miswired
+// transfer must fail loudly at construction instead of hanging
+// silently: a zero-byte transfer never sets Done, a nil link or hook
+// panics only once the first record boundary or retransmission hits.
+var (
+	ErrNoPayload = errors.New("nettcp: transfer needs a positive byte count")
+	ErrNilLink   = errors.New("nettcp: transfer needs both a data and an ack link")
+	ErrNilHook   = errors.New("nettcp: transfer needs a ULP hook (use a zero-cost hook for plain TCP)")
 )
 
 // ULPHook charges ULP costs to the sender.
@@ -157,7 +170,16 @@ type Receiver struct {
 
 // NewTransfer wires a sender and receiver over the given links and
 // starts transmitting total bytes. Call eng.Run (or RunUntil) after.
-func NewTransfer(eng *sim.Engine, data, ack *netsim.Link, cfg Config, hook ULPHook, total int64) (*Sender, *Receiver) {
+func NewTransfer(eng *sim.Engine, data, ack *netsim.Link, cfg Config, hook ULPHook, total int64) (*Sender, *Receiver, error) {
+	if total <= 0 {
+		return nil, nil, ErrNoPayload
+	}
+	if data == nil || ack == nil {
+		return nil, nil, ErrNilLink
+	}
+	if hook == nil {
+		return nil, nil, ErrNilHook
+	}
 	if cfg.MSS <= 0 {
 		cfg.MSS = 1460
 	}
@@ -180,7 +202,7 @@ func NewTransfer(eng *sim.Engine, data, ack *netsim.Link, cfg Config, hook ULPHo
 	data.Deliver = r.onData
 	ack.Deliver = s.onAck
 	eng.At(eng.Now(), s.pump)
-	return s, r
+	return s, r, nil
 }
 
 // Done reports whether every byte was acknowledged.

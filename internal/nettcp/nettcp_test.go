@@ -18,7 +18,10 @@ func runTransfer(t *testing.T, drop float64, hook ULPHook, total int64) (*Sender
 	eng := sim.NewEngine()
 	data := netsim.NewLink(eng, netsim.LinkConfig{Gbps: 100, PropPs: 6 * sim.Us, DropProb: drop, Seed: 1})
 	ack := netsim.NewLink(eng, netsim.LinkConfig{Gbps: 100, PropPs: 6 * sim.Us, Seed: 2})
-	s, r := NewTransfer(eng, data, ack, DefaultConfig(), hook, total)
+	s, r, err := NewTransfer(eng, data, ack, DefaultConfig(), hook, total)
+	if err != nil {
+		t.Fatal(err)
+	}
 	eng.RunUntil(60 * sim.S)
 	return s, r, eng
 }

@@ -19,7 +19,10 @@ func TestReorderTriggersResyncNotLoss(t *testing.T) {
 			ReorderProb: 0.01, ReorderDelayPs: 300 * sim.Us, Seed: 5,
 		})
 		ack := netsim.NewLink(eng, netsim.LinkConfig{Gbps: 100, PropPs: 6 * sim.Us, Seed: 6})
-		s, r := NewTransfer(eng, data, ack, DefaultConfig(), hook, 4<<20)
+		s, r, err := NewTransfer(eng, data, ack, DefaultConfig(), hook, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
 		eng.RunUntil(30 * sim.S)
 		return s, r
 	}
@@ -55,7 +58,10 @@ func TestSpuriousRetransmitsFromReorder(t *testing.T) {
 		ReorderProb: 0.02, ReorderDelayPs: 500 * sim.Us, Seed: 9,
 	})
 	ack := netsim.NewLink(eng, netsim.LinkConfig{Gbps: 100, PropPs: 6 * sim.Us, Seed: 10})
-	s, _ := NewTransfer(eng, data, ack, DefaultConfig(), zeroHook{}, 4<<20)
+	s, _, err := NewTransfer(eng, data, ack, DefaultConfig(), zeroHook{}, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	eng.RunUntil(30 * sim.S)
 	if !s.Done() {
 		t.Fatal("transfer incomplete")

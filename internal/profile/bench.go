@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/dram"
 	"repro/internal/fleet"
@@ -45,6 +46,12 @@ type BenchScenario struct {
 	Shards      int         `json:"shards,omitempty"`
 	ExecWorkers int         `json:"exec_workers,omitempty"`
 	Params      *sim.Params `json:"-"` // calibration override; nil = DefaultParams
+	// Nodes > 0 runs the scenario on the replicated cluster tier
+	// (internal/cluster): Nodes server nodes behind quorum-ack
+	// replication with Conns closed-loop client connections, chaos off.
+	// The KPI set is the client-visible one (acked ops, redirects,
+	// promotions) rather than the per-server serving KPIs.
+	Nodes int `json:"nodes,omitempty"`
 }
 
 // Clock reads a wall-time instant in nanoseconds. The bench harness
@@ -83,6 +90,12 @@ func DefaultBenchScenarios() []BenchScenario {
 		// columns (sim KPIs stay byte-identical at any ExecWorkers).
 		{Name: "fleet-8rank-big", Placement: "rr", Shards: 8, Devices: 1, ULP: "tls",
 			Msg: 4096, Conns: 512, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 20 * sim.Ms},
+		// The replicated cluster tier, healthy (chaos off): pins the
+		// replication path's client-visible KPIs — quorum-ack write and
+		// leased-read goodput, mean ack latency, and the redirect/timeout
+		// counters that caught the router cursor ping-pong regression.
+		{Name: "cluster-3node", Placement: "cluster", Nodes: 3, ULP: "tls",
+			Msg: 1024, Conns: 6, Workers: 2, Seed: 1, WarmupPs: 2 * sim.Ms, MeasurePs: 8 * sim.Ms},
 	}
 }
 
@@ -107,32 +120,73 @@ func RunBenchScenarioClocked(sc BenchScenario, clock Clock) (BenchResult, error)
 	if clock != nil {
 		start = clock()
 	}
-	m, err := runScenarioWorkload(sc, params)
-	if err != nil {
-		return res, err
-	}
-
-	cyclesPerByte := 0.0
-	if m.TXBytes > 0 {
-		// ps → cycles: cycles = ps * GHz / 1000.
-		cyclesPerByte = float64(m.CPUBusyPs) * params.CPUClockGHz / 1000 / float64(m.TXBytes)
-	}
-	res.KPIs = map[string]float64{
-		"requests":        float64(m.Requests),
-		"rps":             m.RPS,
-		"mean_lat_ps":     float64(m.MeanLatPs),
-		"p99_lat_ps":      m.Latency.Percentile(99),
-		"cycles_per_byte": cyclesPerByte,
-		"mem_bw_gbps":     m.MemBWGBps,
+	var retired float64 // simulated work units for the wall-rate KPI
+	if sc.Nodes > 0 {
+		kpis, err := runClusterWorkload(sc, params)
+		if err != nil {
+			return res, err
+		}
+		res.KPIs = kpis
+		retired = kpis["ops"]
+	} else {
+		m, err := runScenarioWorkload(sc, params)
+		if err != nil {
+			return res, err
+		}
+		cyclesPerByte := 0.0
+		if m.TXBytes > 0 {
+			// ps → cycles: cycles = ps * GHz / 1000.
+			cyclesPerByte = float64(m.CPUBusyPs) * params.CPUClockGHz / 1000 / float64(m.TXBytes)
+		}
+		res.KPIs = map[string]float64{
+			"requests":        float64(m.Requests),
+			"rps":             m.RPS,
+			"mean_lat_ps":     float64(m.MeanLatPs),
+			"p99_lat_ps":      m.Latency.Percentile(99),
+			"cycles_per_byte": cyclesPerByte,
+			"mem_bw_gbps":     m.MemBWGBps,
+		}
+		retired = float64(m.Requests)
 	}
 	if clock != nil {
 		wall := float64(clock()-start) * 1e-9
 		res.KPIs["wall_seconds"] = wall
 		if wall > 0 {
-			res.KPIs["sim_req_per_wall_s"] = float64(m.Requests) / wall
+			res.KPIs["sim_req_per_wall_s"] = retired / wall
 		}
 	}
 	return res, nil
+}
+
+// runClusterWorkload runs the scenario on the replicated cluster tier
+// and extracts the client-visible KPIs.
+func runClusterWorkload(sc BenchScenario, params sim.Params) (map[string]float64, error) {
+	mode := server.HTTPSMode
+	if sc.ULP == "compression" {
+		mode = server.CompressedHTTP
+	}
+	c, err := cluster.New(cluster.Config{
+		Nodes: sc.Nodes, Conns: sc.Conns, MsgSize: sc.Msg, Workers: sc.Workers,
+		FileKind: corpus.Text, Mode: mode, Seed: sc.Seed,
+		ExecWorkers: sc.ExecWorkers, Params: &params,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	m, err := c.Run(sc.WarmupPs, sc.MeasurePs)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	return map[string]float64{
+		"ops":          float64(m.Ops),
+		"ops_per_sec":  m.OpsPerSec,
+		"acked_writes": float64(m.AckedWrites),
+		"acked_reads":  float64(m.AckedReads),
+		"mean_lat_ps":  float64(m.MeanLatPs),
+		"redirects":    float64(m.Redirects),
+		"timeouts":     float64(m.Timeouts),
+		"promotions":   float64(m.Promotions),
+	}, nil
 }
 
 // runScenarioWorkload executes the scenario's serving run — on the

@@ -17,12 +17,24 @@
 // not it served that exact connection — for a closed-loop single-server
 // system this is the blocking structure that bounds the latency
 // distribution, and it needs no re-instrumentation of any component.
+//
+// Merged shard traces (fleet.Sharded, cluster) break both assumptions
+// of the single-system analysis: per-shard request ids repeat (shard 0
+// and shard 1 each count "req" from 1), and shards are disjoint
+// hardware — an "ulp" span on shard 1 exerts no pressure on a shard-0
+// request. Async pairing is therefore always per-track, and ShardAware
+// additionally scopes span attribution to the request's own shard
+// prefix, with SharedPrefixes ("fe/", "rt/": the dispatch fabric and
+// the router — genuinely shared planes) attributing everywhere. That
+// is what surfaces dispatch-fabric wait as its own stage instead of
+// folding it into "(wait)".
 package profile
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/telemetry"
 )
@@ -75,14 +87,36 @@ type Options struct {
 	// drain tail.
 	FromPs, ToPs int64
 	// ExcludeTracks names tracks whose spans are containers, not work
-	// (nil defaults to the engine's coarse RunUntil windows).
+	// (nil defaults to the engine's coarse RunUntil windows). Under
+	// ShardAware the name is matched after stripping the shard prefix,
+	// so "engine" excludes "s0/engine" and "n2/engine" alike.
 	ExcludeTracks []string
+	// ShardAware analyzes a merged multi-shard trace: every span and
+	// request window carries its shard prefix (the track name up to and
+	// including the first '/'), and a span attributes to a request only
+	// when the prefixes match or the span's prefix is shared — disjoint
+	// sub-systems exert no pressure on each other's requests.
+	ShardAware bool
+	// SharedPrefixes lists shard prefixes whose spans attribute to
+	// every request regardless of shard (nil defaults to "fe/" and
+	// "rt/" — the dispatch fabric and the cluster router).
+	SharedPrefixes []string
 }
 
 // span is one clipped work interval.
 type cpSpan struct {
 	at, end int64
 	name    string
+	prefix  string // shard prefix under Options.ShardAware, else ""
+}
+
+// shardPrefix returns the track name's shard prefix including the
+// slash ("s0/", "fe/"), or "" for an unprefixed track.
+func shardPrefix(track string) string {
+	if i := strings.IndexByte(track, '/'); i >= 0 {
+		return track[:i+1]
+	}
+	return ""
 }
 
 // AnalyzeTracer runs the critical-path analysis on a live Tracer.
@@ -100,6 +134,21 @@ func Analyze(tracks []string, events []telemetry.Event, opt Options) *CritPath {
 	for _, t := range opt.ExcludeTracks {
 		excluded[t] = true
 	}
+	shared := map[string]bool{}
+	if opt.ShardAware {
+		if opt.SharedPrefixes == nil {
+			opt.SharedPrefixes = []string{"fe/", "rt/"}
+		}
+		for _, p := range opt.SharedPrefixes {
+			shared[p] = true
+		}
+	}
+	trackName := func(id telemetry.TrackID) string {
+		if int(id) < len(tracks) {
+			return tracks[id]
+		}
+		return ""
+	}
 
 	var spans []cpSpan
 	var maxDur int64
@@ -107,10 +156,15 @@ func Analyze(tracks []string, events []telemetry.Event, opt Options) *CritPath {
 		if e.Kind != telemetry.KindSpan || e.DurPs <= 0 {
 			continue
 		}
-		if int(e.Track) < len(tracks) && excluded[tracks[e.Track]] {
+		track, prefix := trackName(e.Track), ""
+		if opt.ShardAware {
+			prefix = shardPrefix(track)
+			track = strings.TrimPrefix(track, prefix)
+		}
+		if excluded[track] {
 			continue
 		}
-		spans = append(spans, cpSpan{at: e.AtPs, end: e.AtPs + e.DurPs, name: e.Name})
+		spans = append(spans, cpSpan{at: e.AtPs, end: e.AtPs + e.DurPs, name: e.Name, prefix: prefix})
 		if e.DurPs > maxDur {
 			maxDur = e.DurPs
 		}
@@ -126,19 +180,23 @@ func Analyze(tracks []string, events []telemetry.Event, opt Options) *CritPath {
 	})
 
 	cp := &CritPath{}
-	// Pair async begins with ends by (name, id), in emission order.
+	// Pair async begins with ends by (track, name, id), in emission
+	// order. The track component is what keeps merged shard traces
+	// correct: shard 0 and shard 1 both number their "req" lifecycles
+	// from 1, and only the (remapped, unique) track separates them.
 	type akey struct {
-		name string
-		id   uint64
+		track telemetry.TrackID
+		name  string
+		id    uint64
 	}
 	open := map[akey][]int64{}
 	for _, e := range events {
 		switch e.Kind {
 		case telemetry.KindAsyncBegin:
-			k := akey{name: e.Name, id: e.ID}
+			k := akey{track: e.Track, name: e.Name, id: e.ID}
 			open[k] = append(open[k], e.AtPs)
 		case telemetry.KindAsyncEnd:
-			k := akey{name: e.Name, id: e.ID}
+			k := akey{track: e.Track, name: e.Name, id: e.ID}
 			starts := open[k]
 			if len(starts) == 0 {
 				continue
@@ -151,7 +209,11 @@ func Analyze(tracks []string, events []telemetry.Event, opt Options) *CritPath {
 			if opt.ToPs != 0 && e.AtPs > opt.ToPs {
 				continue
 			}
-			cp.Requests = append(cp.Requests, analyzeRequest(e.ID, start, e.AtPs, spans, maxDur))
+			prefix := ""
+			if opt.ShardAware {
+				prefix = shardPrefix(trackName(e.Track))
+			}
+			cp.Requests = append(cp.Requests, analyzeRequest(e.ID, start, e.AtPs, prefix, spans, maxDur, opt.ShardAware, shared))
 		}
 	}
 
@@ -192,8 +254,10 @@ func Analyze(tracks []string, events []telemetry.Event, opt Options) *CritPath {
 }
 
 // analyzeRequest attributes one request window across stage names.
-// spans is sorted by start; maxDur bounds the backward search.
-func analyzeRequest(id uint64, start, end int64, spans []cpSpan, maxDur int64) Request {
+// spans is sorted by start; maxDur bounds the backward search. Under
+// shardAware, only spans from the request's own shard (reqPrefix) or
+// from a shared plane attribute; foreign shards are invisible.
+func analyzeRequest(id uint64, start, end int64, reqPrefix string, spans []cpSpan, maxDur int64, shardAware bool, shared map[string]bool) Request {
 	r := Request{ID: id, StartPs: start, EndPs: end}
 	// First span possibly overlapping: start time > start-maxDur.
 	lo := sort.Search(len(spans), func(i int) bool { return spans[i].at > start-maxDur })
@@ -208,6 +272,9 @@ func analyzeRequest(id uint64, start, end int64, spans []cpSpan, maxDur int64) R
 	for i := lo; i < len(spans) && spans[i].at < end; i++ {
 		s := spans[i]
 		if s.end <= start {
+			continue
+		}
+		if shardAware && s.prefix != reqPrefix && !shared[s.prefix] {
 			continue
 		}
 		at, e := s.at, s.end

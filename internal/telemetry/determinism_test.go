@@ -15,8 +15,8 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/corpus"
 	"repro/internal/fault"
-	"repro/internal/nettcp"
 	"repro/internal/netsim"
+	"repro/internal/nettcp"
 	"repro/internal/offload"
 	"repro/internal/runner"
 	"repro/internal/server"
@@ -109,7 +109,10 @@ func TestNetTCPTraceInstants(t *testing.T) {
 		ack := netsim.NewLink(eng, netsim.LinkConfig{Gbps: p.LinkGbps, PropPs: rttHalf, Seed: 10})
 		cfg := nettcp.DefaultConfig()
 		cfg.MSS = p.MTUBytes - 40
-		sender, _ := nettcp.NewTransfer(eng, data, ack, cfg, nettcp.CPUTLSHook{P: p}, 1<<20)
+		sender, _, err := nettcp.NewTransfer(eng, data, ack, cfg, nettcp.CPUTLSHook{P: p}, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
 		sender.Tracer = tr
 		sender.TraceTrack = tr.Track("tcp")
 		eng.RunUntil(2 * sim.S)
