@@ -48,9 +48,18 @@
 #                     bench gate (which includes the pinned
 #                     cluster-3node scenario)
 #
+#  12. rdma gate   — the zero-copy peer-DMA data path: the RDMA NIC /
+#                     offload / fleet MR-locality tests and the
+#                     serial-vs-pooled-vs-GOMAXPROCS=2 byte-identity
+#                     gate for the rdma figure under -race, the bounded
+#                     RDMA chaos soak (doorbell loss, RNR, MR-unregister
+#                     and mid-migration races), and the KPI bench gate
+#                     (which includes the pinned rdma-4rank scenario)
+#
 # `./ci.sh bench` runs only the KPI bench stage — the quick loop while
 # tuning performance. `./ci.sh shard` runs only the shard gate.
-# `./ci.sh cluster` runs only the cluster gate.
+# `./ci.sh cluster` runs only the cluster gate. `./ci.sh rdma` runs
+# only the rdma gate.
 set -eu
 cd "$(dirname "$0")"
 
@@ -89,6 +98,17 @@ run_cluster() {
 	run_bench
 }
 
+run_rdma_tests() {
+	echo "== rdma gate: NIC model, MR-locality, figure determinism (under -race) + bounded soak"
+	go test -race -run 'RDMA' ./internal/rdma/ ./internal/offload/ ./internal/nettcp/ ./internal/fleet/ ./internal/experiments/
+	go test -race -short -run 'TestRDMASoak|TestRDMASameSeedSameTrace' ./internal/chaos/
+}
+
+run_rdma() {
+	run_rdma_tests
+	run_bench
+}
+
 if [ "${1:-}" = "bench" ]; then
 	run_bench
 	exit 0
@@ -99,6 +119,10 @@ if [ "${1:-}" = "shard" ]; then
 fi
 if [ "${1:-}" = "cluster" ]; then
 	run_cluster
+	exit 0
+fi
+if [ "${1:-}" = "rdma" ]; then
+	run_rdma
 	exit 0
 fi
 
@@ -130,6 +154,8 @@ go test -run 'TestGoToolPprofAcceptsExport' ./internal/profile/
 run_shard
 
 run_cluster_tests
+
+run_rdma_tests
 
 run_bench
 

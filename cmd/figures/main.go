@@ -10,6 +10,7 @@
 //	figures -fig scale    # fleet scaling, 1-8 SmartDIMM ranks (not in "all")
 //	figures -fig shard    # sharded-engine wall-clock scaling (not in "all")
 //	figures -fig failover # cluster availability across a node kill (not in "all")
+//	figures -fig rdma     # zero-copy peer-DMA vs host-mediated data path (not in "all")
 //	figures -table 1      # Table I
 //	figures -power        # §VII-D power/area model
 //	figures -scale paper  # testbed-scale workloads (slower)
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,shard,failover,breakdown,critpath); empty = all (non-paper figures excluded)")
+	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,shard,failover,breakdown,critpath,rdma); empty = all (non-paper figures excluded)")
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
@@ -79,6 +80,9 @@ func main() {
 	}
 	if *fig == "critpath" {
 		figCritPath(pool, sc)
+	}
+	if *fig == "rdma" {
+		figRDMA(pool, sc)
 	}
 	if run(3) {
 		fig3(pool, sc)
@@ -251,6 +255,24 @@ func figCritPath(pool *runner.Pool, sc experiments.Scale) {
 		fail(err)
 	}
 	if err := experiments.WriteCritPathTable(os.Stdout, rows); err != nil {
+		fail(err)
+	}
+	fmt.Println()
+}
+
+func figRDMA(pool *runner.Pool, sc experiments.Scale) {
+	fmt.Println("=== Zero-copy data path: host-mediated vs peer-DMA ingress, 16KB TLS records ===")
+	fmt.Println("model: host paths refill page-cache misses by storage DMA bounced through host")
+	fmt.Println("       DRAM (DDIO ways); peer-dimm refills by one-sided RDMA WRITE straight into")
+	fmt.Println("       the registered rank buffer — copy and bounce stages vanish from the")
+	fmt.Println("       critical path, refills stop streaming through the LLC, and the +mcf")
+	fmt.Println("       columns show the isolation win under cache pressure. wqe/doorbell is")
+	fmt.Println("       the submission-queue coalescing factor.")
+	pts, err := experiments.FigRDMA(pool, sc)
+	if err != nil {
+		fail(err)
+	}
+	if err := experiments.WriteRDMATable(os.Stdout, pts); err != nil {
 		fail(err)
 	}
 	fmt.Println()

@@ -26,6 +26,13 @@
 //	smartdimm-sim -placement adaptive -llc 4194304 -measure-ms 50
 //	smartdimm-sim -placement smartdimm -msg 1024,4096,16384 -conns 64,256
 //	smartdimm-sim -placement leastload -devices 4 -ulp compression -conns 128
+//	smartdimm-sim -placement rr -devices 4 -datapath peer -msg 16384
+//
+// Data path: -datapath host (default) refills page-cache misses by
+// storage DMA bounced through host DRAM; -datapath peer installs the
+// RDMA NIC model and refills by one-sided writes straight into the
+// registered SmartDIMM buffers (requires the smartdimm placement or a
+// fleet policy).
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/offload"
 	"repro/internal/profile"
+	"repro/internal/rdma"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -51,6 +59,7 @@ import (
 // cliConfig carries the flag values shared by every run of the sweep.
 type cliConfig struct {
 	placement   string
+	datapath    string
 	ulpName     string
 	workers     int
 	devices     int
@@ -71,6 +80,7 @@ func main() {
 	placement := flag.String("placement", "smartdimm",
 		"cpu | smartnic | qat | smartdimm | adaptive, or a fleet policy rr | leastload | affinity | sticky (default policy with -devices > 1: rr)")
 	devices := flag.Int("devices", 1, "SmartDIMM ranks; above 1, connections shard across a fleet (see -placement)")
+	datapath := flag.String("datapath", "host", "record ingress: host (storage DMA via host DRAM) | peer (zero-copy RDMA into device buffers; needs smartdimm or a fleet placement)")
 	shards := flag.Int("shards", 0, "run ONE simulation split across N parallel engine shards (sub-systems with -devices ranks each); 0 = the serial engine")
 	execWorkers := flag.Int("exec-workers", 0, "with -shards: epoch execution parallelism (0 = GOMAXPROCS, 1 = serial reference schedule; results are byte-identical either way)")
 	ulpName := flag.String("ulp", "tls", "tls | compression | none (plain HTTP)")
@@ -106,7 +116,8 @@ func main() {
 		fatal(fmt.Errorf("-devices %d: need at least one rank", *devices))
 	}
 	cfg := cliConfig{
-		placement: strings.ToLower(*placement), ulpName: strings.ToLower(*ulpName),
+		placement: strings.ToLower(*placement), datapath: strings.ToLower(*datapath),
+		ulpName: strings.ToLower(*ulpName),
 		workers: *workers, devices: *devices, shards: *shards, execWorkers: *execWorkers,
 		llc: *llc, ways: *ways, kind: kind,
 		warmupMs: *warmupMs, measureMs: *measureMs, seed: *seed,
@@ -148,7 +159,14 @@ func main() {
 // returns the formatted report.
 func runOne(cfg cliConfig, msg, conns int) (string, error) {
 	if cfg.shards > 0 {
+		if cfg.datapath == "peer" {
+			return "", fmt.Errorf("-datapath peer: not supported with -shards")
+		}
 		return runSharded(cfg, msg, conns)
+	}
+	peer := cfg.datapath == "peer"
+	if !peer && cfg.datapath != "host" {
+		return "", fmt.Errorf("-datapath %q: use host or peer", cfg.datapath)
 	}
 	// A fleet policy name as the placement, or -devices above 1 with the
 	// plain smartdimm placement (defaulting to round-robin), selects the
@@ -164,9 +182,16 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 	}
 
 	withDIMM := cfg.placement == "smartdimm" || cfg.placement == "adaptive" || isFleet
+	if peer && !(cfg.placement == "smartdimm" || isFleet) {
+		return "", fmt.Errorf("-datapath peer: placement %q has no device buffers; use smartdimm or a fleet policy", cfg.placement)
+	}
 	ranks := 0
 	if isFleet {
 		ranks = cfg.devices
+	}
+	dp := sim.DataPathHost
+	if peer {
+		dp = sim.DataPathPeer
 	}
 	var tracer *telemetry.Tracer
 	traceCAS := 0
@@ -183,18 +208,25 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
 		WithSmartDIMM:  withDIMM,
 		SmartDIMMRanks: ranks,
+		DataPath:       dp,
 		Tracer:         tracer,
 		TraceCAS:       traceCAS,
 	})
 	if err != nil {
 		return "", err
 	}
+	var nic *rdma.NIC
+	if peer {
+		if nic, err = rdma.New(rdma.Config{Sys: sys, Tracer: tracer}); err != nil {
+			return "", err
+		}
+	}
 
 	var backend offload.Backend
 	var fl *fleet.Fleet
 	switch {
 	case isFleet:
-		fl, err = fleet.New(fleet.Config{Sys: sys, Policy: pol})
+		fl, err = fleet.New(fleet.Config{Sys: sys, Policy: pol, RNIC: nic})
 		if err != nil {
 			return "", err
 		}
@@ -224,6 +256,11 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 		backend = nil
 	default:
 		return "", fmt.Errorf("unknown ulp %q", cfg.ulpName)
+	}
+	if peer && backend != nil {
+		if backend, err = offload.NewRDMA(backend, nic); err != nil {
+			return "", err
+		}
 	}
 
 	scfg := server.Config{
@@ -259,6 +296,7 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "placement:   %s\n", cfg.placement)
+	fmt.Fprintf(&b, "datapath:    %s\n", cfg.datapath)
 	fmt.Fprintf(&b, "mode:        %s, %dB messages, %d connections, %d workers\n", mode, msg, conns, cfg.workers)
 	fmt.Fprintf(&b, "requests:    %d in %.2fms\n", m.Requests, float64(m.ElapsedPs)/float64(sim.Ms))
 	fmt.Fprintf(&b, "RPS:         %.0f\n", m.RPS)
@@ -283,6 +321,14 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 			fmt.Fprintf(&b, "adaptive:    %d offloaded, %d on CPU (last miss rate %.3f)\n",
 				ad.OffloadedN, ad.OnCPUN, ad.LastMissRate)
 		}
+	}
+	if nic != nil {
+		st := nic.Stats()
+		fmt.Fprintf(&b, "rdma:        %d MRs (%d live), %d WQEs (%d ok / %d failed), %d doorbells (%.2f wqe/ring, %d lost), %d RNR naks, %d stale retargets\n",
+			st.MRs, st.LiveMRs, st.Posted, st.Completed, st.Failed,
+			st.Doorbells, st.DoorbellsCoalesce, st.DoorbellsLost, st.RNRNaks, st.StaleRkeyRetries)
+		fmt.Fprintf(&b, "             %d peer bytes on the wire (%.2fus serialized), %d preloaded\n",
+			st.PeerBytes, float64(st.WirePs)/float64(sim.Us), st.Preloaded)
 	}
 	if cfg.metrics {
 		reg := telemetry.NewRegistry()

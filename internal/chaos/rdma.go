@@ -1,0 +1,368 @@
+// RDMA chaos: the peer-DMA ingress under a seeded fault schedule.
+// Deposits stream through the NIC model into fleet-managed registered
+// buffers while the injector eats doorbells and NAKs receivers, and the
+// harness forces the two races the data path must survive:
+//
+//   - MR-unregister-during-flight (at ops/3): a WQE is posted, its MR is
+//     quiesced before the doorbell rings, and the late write must fail
+//     cleanly ("stale" completion, no landing) instead of hitting memory
+//     whose registration was revoked;
+//   - mid-migration peer writes (at 2*ops/3): a WQE is posted, the
+//     connection's home rank is force-failed (drain + reshard moves the
+//     buffers), and the late write must retarget to the post-migration
+//     registration — never the freed pages.
+//
+// Invariants checked: every landing lies inside the registered region it
+// was addressed to (no record outside its MR); WQE conservation — posted
+// equals completed + failed + pending throughout, and pending is zero
+// after disarm + drain; cross-rank page conservation over the fleet; no
+// leaked engine events; and the report's combined trace (injector + NIC
+// + placement) replays byte-identically from the seed.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dram"
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/offload"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// rdmaRanks matches the fleet schedule: failures always leave survivors.
+const rdmaRanks = 3
+
+// RDMAReport summarizes one RDMA chaos scenario.
+type RDMAReport struct {
+	Seed    int64
+	Ops     int
+	Devices int
+	Policy  string
+	// Tolerated counts deposits that failed with a degradable error
+	// (retry exhaustion under injected doorbell loss / RNR).
+	Tolerated int
+	// Consults/Fired are the injector's totals across all sites.
+	Consults, Fired int64
+	// NIC counters after the final drain.
+	Posted, Completed, Failed     uint64
+	DoorbellsLost, RNRNaks        uint64
+	StaleRetries, BoundsRefusals  uint64
+	PeerBytes                     uint64
+	Migrations                    uint64
+	Violations                    []string
+	// Trace concatenates the fault, NIC-op, and placement traces; it
+	// must replay byte-identically from the seed.
+	Trace string
+}
+
+// Collect implements telemetry.Collector.
+func (r RDMAReport) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "seed", Value: float64(r.Seed)})
+	emit(telemetry.Sample{Name: "ops", Value: float64(r.Ops)})
+	emit(telemetry.Sample{Name: "tolerated", Value: float64(r.Tolerated)})
+	emit(telemetry.Sample{Name: "posted", Value: float64(r.Posted)})
+	emit(telemetry.Sample{Name: "completed", Value: float64(r.Completed)})
+	emit(telemetry.Sample{Name: "failed", Value: float64(r.Failed)})
+	emit(telemetry.Sample{Name: "doorbells_lost", Value: float64(r.DoorbellsLost)})
+	emit(telemetry.Sample{Name: "rnr_naks", Value: float64(r.RNRNaks)})
+	emit(telemetry.Sample{Name: "stale_retries", Value: float64(r.StaleRetries)})
+	emit(telemetry.Sample{Name: "bounds_refusals", Value: float64(r.BoundsRefusals)})
+	emit(telemetry.Sample{Name: "migrations", Value: float64(r.Migrations)})
+	emit(telemetry.Sample{Name: "violations", Value: float64(len(r.Violations))})
+}
+
+type rdmaScenario struct {
+	rng   *rand.Rand
+	inj   *fault.Injector
+	sys   *sim.System
+	nic   *rdma.NIC
+	fl    *fleet.Fleet
+	bkend *offload.RDMA
+	base  []byte
+	rep   *RDMAReport
+	conns []*offload.Conn
+	op    int
+}
+
+// RunRDMA executes one RDMA chaos scenario: ops seeded deposits over
+// several fleet-homed connections with doorbell loss and RNR NAKs
+// armed, plus the two forced races (MR unregister in flight, peer write
+// across a drain-and-reshard migration), then disarm + drain + the full
+// invariant sweep. The returned error reports harness construction
+// failures only; invariant breaches land in RDMAReport.Violations.
+func RunRDMA(seed int64, ops int) (RDMAReport, error) {
+	if ops <= 0 {
+		ops = 16
+	}
+	rep := RDMAReport{Seed: seed, Ops: ops, Devices: rdmaRanks}
+	rng := rand.New(rand.NewSource(seed))
+	inj := fault.New(seed)
+	// The two RDMA sites get schedules drawn from the scenario RNG, so a
+	// soak covers quiet, bursty, and saturated fault regimes.
+	inj.Arm(rdma.SiteDoorbell, fault.Bernoulli{Prob: 0.02 + 0.2*rng.Float64()})
+	inj.Arm(rdma.SiteRNR, fault.Bernoulli{Prob: 0.02 + 0.2*rng.Float64()})
+
+	dc := core.DeviceConfig{
+		Geometry:         dram.SmallGeometry(),
+		ScratchpadPages:  8,
+		ConfigPages:      8,
+		DSALatencyCycles: 32,
+		MMIOPages:        1,
+	}
+	sys, err := sim.NewSystem(sim.SystemConfig{
+		SmartDIMMRanks: rdmaRanks,
+		LLCBytes:       4 << 20,
+		LLCWays:        8,
+		DeviceConfig:   &dc,
+		DataPath:       sim.DataPathPeer,
+		Faults:         inj,
+	})
+	if err != nil {
+		return rep, err
+	}
+	nic, err := rdma.New(rdma.Config{
+		Sys: sys, Faults: inj, TraceOps: true, RecordLandings: true,
+	})
+	if err != nil {
+		return rep, err
+	}
+	policies := []fleet.Policy{fleet.RoundRobin, fleet.LeastLoaded, fleet.Sticky}
+	pol := policies[rng.Intn(len(policies))]
+	rep.Policy = pol.String()
+	fl, err := fleet.New(fleet.Config{
+		Sys: sys, Policy: pol, RNIC: nic, TracePlacement: true,
+		FailThreshold: 2, CooldownOps: 8, MigrateCooldownOps: 2,
+	})
+	if err != nil {
+		return rep, err
+	}
+	bkend, err := offload.NewRDMA(fl, nic)
+	if err != nil {
+		return rep, err
+	}
+
+	s := &rdmaScenario{
+		rng: rng, inj: inj, sys: sys, nic: nic, fl: fl, bkend: bkend,
+		base: corpus.Generate(corpus.HTML, 96<<10, seed),
+		rep:  &rep,
+	}
+	for i := 0; i < 4; i++ {
+		conn, err := bkend.NewConn(offload.Compression, i, compMsg)
+		if err != nil {
+			return rep, err
+		}
+		s.conns = append(s.conns, conn)
+	}
+
+	forceQuiesce := ops / 3
+	forceMigrate := (2 * ops) / 3
+	for i := 0; i < ops; i++ {
+		s.op = i
+		switch i {
+		case forceQuiesce:
+			s.forceUnregisterInFlight()
+		case forceMigrate:
+			s.forceMigrationInFlight()
+		}
+		s.opDeposit(s.rng.Intn(len(s.conns)))
+		s.checkWQEConservation("mid-stream")
+	}
+
+	// Disarm, then drain every QP: with injection quiet the doorbells
+	// cannot be lost, so every retained WQE executes now.
+	s.inj.DisarmAll()
+	if _, err := s.nic.DrainAll(); err != nil {
+		s.violate("drain: DrainAll after disarm: %v", err)
+	}
+	if p := s.nic.Pending(); p != 0 {
+		s.violate("drain: %d WQEs still pending after disarm+drain", p)
+	}
+	s.checkWQEConservation("after disarm+drain")
+	s.checkLandings()
+	if out, exp := fl.OutstandingPages(), fl.ExpectedPages(); out != exp {
+		s.violate("conservation: %d pages allocated across ranks, connections should hold %d", out, exp)
+	}
+	if n := sys.Engine.Pending(); n != 0 {
+		s.violate("engine: %d events leaked", n)
+	}
+
+	st := nic.Stats()
+	rep.Consults, rep.Fired = inj.Counts()
+	rep.Posted, rep.Completed, rep.Failed = st.Posted, st.Completed, st.Failed
+	rep.DoorbellsLost, rep.RNRNaks = st.DoorbellsLost, st.RNRNaks
+	rep.StaleRetries, rep.BoundsRefusals = st.StaleRkeyRetries, st.BoundsRefusals
+	rep.PeerBytes = st.PeerBytes
+	rep.Migrations = fl.Totals().Migrations
+	rep.Trace = inj.TraceString() + nic.TraceString() + fl.TraceString()
+	return rep, nil
+}
+
+func (s *rdmaScenario) violate(format string, args ...interface{}) {
+	s.rep.Violations = append(s.rep.Violations, fmt.Sprintf(format, args...))
+}
+
+// opDeposit streams one payload through the peer path. A few percent of
+// deposits are rogue (deliberately out of bounds): the NIC must refuse
+// them without touching memory.
+func (s *rdmaScenario) opDeposit(slot int) {
+	conn := s.conns[slot]
+	if s.rng.Intn(16) == 0 {
+		if err := s.nic.PostWrite(conn.ID, conn.Size-8, s.payload(256)); err != nil {
+			if errors.Is(err, rdma.ErrSQFull) {
+				s.rep.Tolerated++ // leftovers from a lost-doorbell deposit
+			} else {
+				s.violate("op %d: rogue post refused at the SQ (want bounds refusal at exec): %v", s.op, err)
+			}
+			return
+		}
+		if _, err := s.nic.RingDoorbell(conn.ID); err != nil {
+			s.violate("op %d: rogue ring: %v", s.op, err)
+		}
+		return
+	}
+	n := 1 + s.rng.Intn(compMsg)
+	if _, err := s.bkend.Ingest(conn, s.payload(n)); err != nil {
+		if errors.Is(err, rdma.ErrRetryExhausted) {
+			// Injected doorbell loss out-ran the retry budget; the WQEs
+			// stay posted and the final drain delivers them.
+			s.rep.Tolerated++
+			return
+		}
+		s.violate("op %d: deposit conn %d: %v", s.op, conn.ID, err)
+	}
+}
+
+// forceUnregisterInFlight posts a WQE, quiesces its MR before the
+// doorbell, and checks the late write fails cleanly without landing.
+func (s *rdmaScenario) forceUnregisterInFlight() {
+	conn := s.conns[s.rng.Intn(len(s.conns))]
+	if err := s.nic.PostWrite(conn.ID, 0, s.payload(1024)); err != nil {
+		if !errors.Is(err, rdma.ErrSQFull) {
+			s.violate("op %d: unregister-race post: %v", s.op, err)
+		}
+		return
+	}
+	if rk := s.nic.QuiesceQP(conn.ID); rk == 0 {
+		s.violate("op %d: quiesce found no MR for conn %d", s.op, conn.ID)
+		return
+	}
+	snap, _, err := s.sys.DMAOut(conn.Src, 1024)
+	if err != nil {
+		s.violate("op %d: unregister-race snapshot: %v", s.op, err)
+		return
+	}
+	failedBefore := s.nic.Stats().Failed
+	if _, err := s.nic.RingDoorbell(conn.ID); err != nil {
+		s.violate("op %d: unregister-race ring: %v", s.op, err)
+	}
+	// The ring may be eaten by injected doorbell loss; only a delivered
+	// ring must produce the clean "stale" failure.
+	if s.nic.Stats().Failed > failedBefore {
+		now, _, err := s.sys.DMAOut(conn.Src, 1024)
+		if err != nil {
+			s.violate("op %d: unregister-race readback: %v", s.op, err)
+		} else if !bytes.Equal(snap, now) {
+			s.violate("op %d: write landed through a revoked registration", s.op)
+		}
+	}
+	// Restore ingress over the same buffer (the registration the next
+	// deposits use).
+	if _, err := s.nic.RebindQP(conn.ID, conn.Src, conn.Size); err != nil {
+		s.violate("op %d: unregister-race rebind: %v", s.op, err)
+	}
+}
+
+// forceMigrationInFlight posts a WQE, force-fails the connection's home
+// rank (drain-and-reshard moves the buffers and rebinds the MR), and
+// checks the late write followed the registration.
+func (s *rdmaScenario) forceMigrationInFlight() {
+	conn := s.conns[s.rng.Intn(len(s.conns))]
+	home := s.fl.Home(conn.ID)
+	if home < 0 {
+		return // already homeless; nothing to migrate
+	}
+	data := s.payload(1024)
+	if err := s.nic.PostWrite(conn.ID, 0, data); err != nil {
+		if !errors.Is(err, rdma.ErrSQFull) {
+			s.violate("op %d: migration-race post: %v", s.op, err)
+		}
+		return
+	}
+	oldSrc := conn.Src
+	if err := s.fl.Fail(home); err != nil {
+		s.violate("op %d: migration-race fail d%d: %v", s.op, home, err)
+		return
+	}
+	if conn.Src == oldSrc {
+		// No survivor accepted the buffers (stranded): the MR stays
+		// over the same pages and the write may land there legally.
+		s.readmitAll()
+		return
+	}
+	oldSnap, _, err := s.sys.DMAOut(oldSrc, len(data))
+	if err != nil {
+		s.violate("op %d: migration-race snapshot: %v", s.op, err)
+		return
+	}
+	completedBefore := s.nic.Stats().Completed
+	if _, err := s.nic.RingDoorbell(conn.ID); err != nil {
+		s.violate("op %d: migration-race ring: %v", s.op, err)
+	}
+	if s.nic.Stats().Completed > completedBefore {
+		oldNow, _, err := s.sys.DMAOut(oldSrc, len(data))
+		if err != nil {
+			s.violate("op %d: migration-race readback: %v", s.op, err)
+		} else if !bytes.Equal(oldSnap, oldNow) {
+			s.violate("op %d: mid-migration write landed in the draining rank's freed pages", s.op)
+		}
+	}
+	s.readmitAll()
+}
+
+// readmitAll returns tripped members to service so the soak keeps all
+// ranks in play after a forced failure.
+func (s *rdmaScenario) readmitAll() {
+	for i := 0; i < s.fl.Members(); i++ {
+		if err := s.fl.Readmit(i); err != nil {
+			s.violate("op %d: readmit d%d: %v", s.op, i, err)
+		}
+	}
+}
+
+// payload returns a deterministic slice of the corpus.
+func (s *rdmaScenario) payload(n int) []byte {
+	off := s.rng.Intn(len(s.base) - n)
+	return s.base[off : off+n]
+}
+
+// checkWQEConservation asserts posted == completed + failed + pending.
+func (s *rdmaScenario) checkWQEConservation(when string) {
+	st := s.nic.Stats()
+	if st.Posted != st.Completed+st.Failed+uint64(s.nic.Pending()) {
+		s.violate("wqe conservation %s (op %d): posted %d != completed %d + failed %d + pending %d",
+			when, s.op, st.Posted, st.Completed, st.Failed, s.nic.Pending())
+	}
+}
+
+// checkLandings asserts every recorded landing lies inside the MR it was
+// addressed to.
+func (s *rdmaScenario) checkLandings() {
+	for _, l := range s.nic.Landings() {
+		mr, ok := s.nic.LookupMR(l.Rkey)
+		if !ok {
+			s.violate("landing against unknown rk%d: %+v", l.Rkey, l)
+			continue
+		}
+		if l.Addr < mr.Addr || l.Addr+uint64(l.Len) > mr.Addr+uint64(mr.Len) {
+			s.violate("landing outside rk%d's region: %+v vs [%#x,+%d)", l.Rkey, l, mr.Addr, mr.Len)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+// The zero-copy data-path experiment behind `figures -fig rdma`: the
+// same 4-rank serving workload measured under three record-ingress
+// configurations — the all-CPU host path, the host-mediated SmartDIMM
+// fleet (storage DMA bouncing through host DRAM on page-cache misses),
+// and the peer-DMA fleet (the RDMA NIC writing straight into the
+// registered lower-half buffers) — each solo and co-located with the
+// LLC-thrashing antagonist. The trace-derived stage shares substantiate
+// the zero-copy claim: under peer-DMA both the copy stage and the
+// host-DRAM bounce stage are absent (their time moves to the rdma
+// stage, priced on the rank's write timing), and because refills no
+// longer stream through the LLC's DMA ways, the co-run column shows the
+// isolation benefit on top of the goodput win.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/corpus"
+	"repro/internal/corun"
+	"repro/internal/fleet"
+	"repro/internal/offload"
+	"repro/internal/profile"
+	"repro/internal/rdma"
+	"repro/internal/runner"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/wrkgen"
+)
+
+// RDMARanks is the rank count the rdma figure compares at: equal for
+// the host-mediated and peer-DMA fleets, so the delta is the data path.
+const RDMARanks = 4
+
+// RDMAPoint is one (data path, co-location) measurement.
+type RDMAPoint struct {
+	Label string // host-cpu | host-dimm | peer-dimm
+	Corun bool
+
+	Requests int
+	RPS      float64
+	TxGbps   float64
+	P99Ps    int64
+
+	// Trace-derived critical-path shares (percent of blocked time).
+	CopyPct   float64
+	BouncePct float64
+	RDMAPct   float64
+
+	// Peer-DMA only: mean WQEs retired per doorbell ring (the
+	// submission-queue batching win) and peer bytes deposited.
+	WQEPerDoorbell float64
+	PeerBytes      uint64
+
+	// Co-run only: antagonist progress, for the isolation argument.
+	AntOps float64
+}
+
+// rdmaConfig names one column of the figure.
+type rdmaConfig struct {
+	label string
+	ranks int  // SmartDIMM ranks (0 = CPU-only system)
+	peer  bool // zero-copy RDMA ingress
+	corun bool
+}
+
+func rdmaConfigs() []rdmaConfig {
+	var out []rdmaConfig
+	for _, co := range []bool{false, true} {
+		out = append(out,
+			rdmaConfig{label: "host-cpu", corun: co},
+			rdmaConfig{label: "host-dimm", ranks: RDMARanks, corun: co},
+			rdmaConfig{label: "peer-dimm", ranks: RDMARanks, peer: true, corun: co},
+		)
+	}
+	return out
+}
+
+// FigRDMA runs the six traced measurements. Each run gets a private
+// system, tracer and (for peer columns) NIC; the critical-path analysis
+// happens in-process on the recorded events.
+func FigRDMA(pool *runner.Pool, sc Scale) ([]RDMAPoint, error) {
+	return runner.Map(context.Background(), pool, rdmaConfigs(),
+		func(_ context.Context, cf rdmaConfig, _ int) (RDMAPoint, error) {
+			return runRDMAConfig(cf, sc)
+		})
+}
+
+func runRDMAConfig(cf rdmaConfig, sc Scale) (RDMAPoint, error) {
+	tr := telemetry.New()
+	dp := sim.DataPathHost
+	if cf.peer {
+		dp = sim.DataPathPeer
+	}
+	sys, err := sim.NewSystem(sim.SystemConfig{
+		Params:         sim.DefaultParams(),
+		LLCBytes:       sc.LLCBytes,
+		LLCWays:        sc.LLCWays,
+		Geometry:       mediumGeometry(),
+		WithSmartDIMM:  cf.ranks > 0,
+		SmartDIMMRanks: cf.ranks,
+		DataPath:       dp,
+		Tracer:         tr,
+	})
+	if err != nil {
+		return RDMAPoint{}, err
+	}
+	var backend offload.Backend
+	var nic *rdma.NIC
+	if cf.ranks > 0 {
+		if cf.peer {
+			if nic, err = rdma.New(rdma.Config{Sys: sys, Tracer: tr}); err != nil {
+				return RDMAPoint{}, err
+			}
+		}
+		fl, err := fleet.New(fleet.Config{Sys: sys, Policy: fleet.RoundRobin, RNIC: nic})
+		if err != nil {
+			return RDMAPoint{}, err
+		}
+		backend = fl
+		if cf.peer {
+			if backend, err = offload.NewRDMA(fl, nic); err != nil {
+				return RDMAPoint{}, err
+			}
+		}
+	} else {
+		backend = &offload.CPU{Sys: sys}
+	}
+	// 16KB messages (the paper's TLS record size): each record splits
+	// into several MTU-sized WQEs, so doorbell coalescing is visible in
+	// the wqe/doorbell column.
+	srv, err := server.New(sys.Engine, server.Config{
+		Sys: sys, Backend: backend, Mode: server.HTTPSMode, Workers: sc.Workers,
+		MsgSize: 16384, Connections: sc.Connections, FileKind: corpus.Text, Seed: 5,
+	})
+	if err != nil {
+		return RDMAPoint{}, err
+	}
+	gen := wrkgen.New(sys.Engine, srv, wrkgen.Config{
+		Connections: sc.Connections,
+		ThinkPs:     int64(sys.Params.RTTUs * float64(sim.Us)),
+	})
+	var ant *corun.Antagonist
+	if cf.corun {
+		if ant, err = corun.Start(sys.Engine, corun.DefaultConfig(sys)); err != nil {
+			return RDMAPoint{}, err
+		}
+	}
+	gen.Start()
+	sys.Engine.RunUntil(sc.WarmupPs)
+	srv.BeginMeasurement()
+	gen.BeginMeasurement()
+	if ant != nil {
+		ant.BeginMeasurement()
+	}
+	sys.Engine.RunUntil(sc.WarmupPs + sc.MeasurePs)
+	m := srv.Collect()
+	if err := srv.LastError(); err != nil {
+		return RDMAPoint{}, fmt.Errorf("rdma %s: %w", cf.label, err)
+	}
+	if sys.Trace != nil {
+		sys.Trace.ExportTo(tr)
+	}
+	cp := profile.AnalyzeTracer(tr, profile.Options{FromPs: sc.WarmupPs})
+	row := CritPathRow{Stages: cp.Stages}
+	pt := RDMAPoint{
+		Label: cf.label, Corun: cf.corun,
+		Requests:  int(m.Requests),
+		RPS:       m.RPS,
+		TxGbps:    float64(m.TXBytes*8) / (float64(m.ElapsedPs) * 1e-12) / 1e9,
+		P99Ps:     cp.PercentileLatencyPs(99),
+		CopyPct:   row.ShareOf("copy"),
+		BouncePct: row.ShareOf("bounce"),
+		RDMAPct:   row.ShareOf("rdma"),
+	}
+	if nic != nil {
+		st := nic.Stats()
+		if st.Doorbells > 0 {
+			pt.WQEPerDoorbell = float64(st.Completed+st.Failed) / float64(st.Doorbells)
+		}
+		pt.PeerBytes = st.PeerBytes
+	}
+	if ant != nil {
+		pt.AntOps = ant.OpsPerSecond()
+	}
+	return pt, nil
+}
+
+// WriteRDMATable renders the figure the `figures -fig rdma` command
+// prints: goodput and stage shares per data path, solo and co-run.
+func WriteRDMATable(w io.Writer, pts []RDMAPoint) error {
+	if _, err := fmt.Fprintf(w, "%-11s %-6s %8s %10s %9s %8s %8s %8s %8s %12s\n",
+		"datapath", "corun", "reqs", "rps", "tx(Gbps)", "p99(us)",
+		"copy%", "bounce%", "rdma%", "wqe/doorbell"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		co := "solo"
+		if p.Corun {
+			co = "+mcf"
+		}
+		if _, err := fmt.Fprintf(w, "%-11s %-6s %8d %10.0f %9.2f %8.1f %8.1f %8.1f %8.1f %12.2f\n",
+			p.Label, co, p.Requests, p.RPS, p.TxGbps,
+			float64(p.P99Ps)/float64(sim.Us),
+			p.CopyPct, p.BouncePct, p.RDMAPct, p.WQEPerDoorbell); err != nil {
+			return err
+		}
+	}
+	return nil
+}

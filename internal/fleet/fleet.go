@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memctrl"
 	"repro/internal/offload"
+	"repro/internal/rdma"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -133,6 +134,19 @@ type Config struct {
 	CooldownOps int
 	// NoReadmit keeps tripped members out permanently.
 	NoReadmit bool
+	// RNIC, when non-nil, is the RDMA NIC whose memory registrations
+	// cover this fleet's connection buffers (the peer-DMA data path).
+	// The fleet then enforces MR-locality across migrations: the MR is
+	// quiesced before a connection's buffers move — an in-flight
+	// one-sided write NAKs instead of landing in pages about to be
+	// freed — and re-registered over the new home's buffers afterwards,
+	// so a record can only ever land on the rank owning its current
+	// registration.
+	RNIC *rdma.NIC
+	// MRReregPs is the extra occupancy a migration charges the target
+	// when RNIC is set: MR invalidate + re-register + QP rebind (a few
+	// MMIO round trips and a doorbell). Zero selects 480ns.
+	MRReregPs int64
 	// TracePlacement records every placement decision (placements,
 	// migrations, sheds, trips, drains, readmissions) into the trace
 	// returned by TraceString — the determinism gate's byte-compared
@@ -260,6 +274,9 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	if cfg.CooldownOps <= 0 {
 		cfg.CooldownOps = 256
+	}
+	if cfg.MRReregPs <= 0 {
+		cfg.MRReregPs = 480 * sim.Ns
 	}
 	f := &Fleet{cfg: cfg, conns: make(map[int]*homeRec)}
 	if tr := cfg.Sys.Tracer; tr != nil {
@@ -496,6 +513,10 @@ func (f *Fleet) drain(m *member, now int64) {
 func (f *Fleet) strand(m *member, rec *homeRec) {
 	m.drv.AbortBuffer(rec.conn.Src, rec.pages)
 	m.drv.AbortBuffer(rec.conn.Dst, rec.pages)
+	// The connection's RDMA MR (if any) stays valid: stranding fails the
+	// buffer *device*, not the DRAM behind it — the buffers don't move,
+	// so peer deposits keep landing in the same registered region and
+	// the CPU soft rung consumes them in place. MR-locality still holds.
 	rec.home = -1
 }
 
@@ -525,8 +546,16 @@ func (f *Fleet) rebalance(rec *homeRec, now int64) {
 	}
 	// Only move when it strictly improves the connection's queue and
 	// the connection hasn't just moved — otherwise equilibrium loads
-	// ping-pong between equally deep members.
-	if min+1 >= depth || f.ops-rec.lastMoveOp < uint64(f.cfg.MigrateCooldownOps) {
+	// ping-pong between equally deep members. Under the peer-DMA data
+	// path a migration additionally quiesces and re-registers the
+	// connection's MR (NAKing any deposit in flight), so the policy
+	// demands a deeper imbalance before moving — MR-locality makes
+	// ping-pong strictly more expensive than queue depth alone says.
+	better := min + 1
+	if f.cfg.RNIC != nil {
+		better = min + 2
+	}
+	if better >= depth || f.ops-rec.lastMoveOp < uint64(f.cfg.MigrateCooldownOps) {
 		return
 	}
 	to := f.shedTarget(rec)
@@ -562,6 +591,18 @@ func (f *Fleet) migrate(rec *homeRec, to int, now int64) error {
 		return err
 	}
 	conn := rec.conn
+	// Peer-DMA: quiesce the connection's MR before anything moves. An
+	// RDMA write is external to the fleet — without this, a WQE posted
+	// before the migration could execute mid-copy and land in the old
+	// pages after their contents were snapshotted (and just before they
+	// return to the allocator, i.e. into memory a later owner receives).
+	// Invalidated, the in-flight write NAKs and retries against the
+	// QP's post-migration binding instead: the PR-3 strand/abort rule
+	// extended to externally-writable buffers.
+	var quiesced uint32
+	if f.cfg.RNIC != nil {
+		quiesced = f.cfg.RNIC.QuiesceQP(conn.ID)
+	}
 	// Both buffers move: Src carries staged payloads, Dst carries
 	// processed output the server may not have transmitted yet. Reading
 	// Dst through DMA also retires any record the old device still holds
@@ -583,6 +624,10 @@ func (f *Fleet) migrate(rec *homeRec, to int, now int64) error {
 	if err != nil {
 		t.drv.FreePages(newSrc, rec.pages)
 		t.drv.FreePages(newDst, rec.pages)
+		if quiesced != 0 {
+			// The buffers did not move; restore ingress over them.
+			f.cfg.RNIC.RebindQP(conn.ID, conn.Src, conn.Size)
+		}
 		return err
 	}
 	if rec.home >= 0 {
@@ -611,6 +656,16 @@ func (f *Fleet) migrate(rec *homeRec, to int, now int64) error {
 	conn.Src, conn.Dst = newSrc, newDst
 	rec.home = to
 	rec.lastMoveOp = f.ops
+	if quiesced != 0 {
+		// MR-locality: register the new home's buffer and point the QP
+		// at it so stale in-flight WQEs retarget here. The rebind costs
+		// the target a few MMIO round trips on top of the copy.
+		if _, rerr := f.cfg.RNIC.RebindQP(conn.ID, conn.Src, conn.Size); rerr != nil {
+			return fmt.Errorf("fleet: rebind c%d MR after migration: %w", conn.ID, rerr)
+		}
+		lat += f.cfg.MRReregPs
+		f.tracef("rereg c%d -> d%d", conn.ID, to)
+	}
 	t.migratedIn++
 	if t.busyUntilPs < now {
 		t.busyUntilPs = now

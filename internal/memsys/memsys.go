@@ -223,6 +223,29 @@ func (h *Hierarchy) DMAWrite64(addr uint64, src []byte) error {
 	return nil
 }
 
+// PeerDMAWrite64 models an RDMA-capable NIC writing one cacheline
+// directly into device-adjacent memory (peer DMA / PCIe peer-to-peer):
+// the store bypasses the LLC's DDIO ways entirely and is issued to the
+// owning channel's controller, so rank timing and the channel bandwidth
+// meter price the deposit. Stale cached copies of the line are
+// invalidated, not written back — the target region is device-owned
+// (an RDMA MR inside a SmartDIMM lower-half buffer) and the peer write
+// wins by protocol, exactly like a DMA overwrite of an uncached region.
+func (h *Hierarchy) PeerDMAWrite64(addr uint64, src []byte) (int64, error) {
+	addr &^= dram.CachelineSize - 1
+	h.LLC.FlushRange(addr, dram.CachelineSize, func(cache.Victim) {})
+	ch, local, err := h.route(addr)
+	if err != nil {
+		return 0, err
+	}
+	start := ch.Ctl.Now()
+	done, err := ch.Ctl.Write(local, -1, src)
+	if err != nil {
+		return 0, err
+	}
+	return h.accountDRAM(ch.Ctl.CycleToPs(done-start), 1), nil
+}
+
 // DMARead64 models a device reading one cacheline (NIC TX DMA): served
 // from the LLC when present, otherwise from DRAM without allocation.
 func (h *Hierarchy) DMARead64(addr uint64, dst []byte) (int64, error) {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fleet"
 	"repro/internal/offload"
+	"repro/internal/rdma"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/wrkgen"
@@ -52,6 +53,13 @@ type BenchScenario struct {
 	// The KPI set is the client-visible one (acked ops, redirects,
 	// promotions) rather than the per-server serving KPIs.
 	Nodes int `json:"nodes,omitempty"`
+	// DataPath selects how records reach the device buffers: "" or
+	// "host" is the host-mediated path (storage DMA bouncing through
+	// host DRAM on page-cache misses); "peer" is the zero-copy RDMA
+	// path (the NIC writes straight into the registered lower-half
+	// buffers). "peer" requires an inline placement (smartdimm or a
+	// fleet policy).
+	DataPath string `json:"datapath,omitempty"`
 }
 
 // Clock reads a wall-time instant in nanoseconds. The bench harness
@@ -96,6 +104,13 @@ func DefaultBenchScenarios() []BenchScenario {
 		// counters that caught the router cursor ping-pong regression.
 		{Name: "cluster-3node", Placement: "cluster", Nodes: 3, ULP: "tls",
 			Msg: 1024, Conns: 6, Workers: 2, Seed: 1, WarmupPs: 2 * sim.Ms, MeasurePs: 8 * sim.Ms},
+		// The zero-copy peer-DMA data path: fleet-4rank's twin with the
+		// NIC depositing records straight into the registered rank
+		// buffers. Pins the RDMA ingress KPIs (goodput with the bounce
+		// stage gone, doorbell coalescing) against the host-mediated
+		// twin above.
+		{Name: "rdma-4rank", Placement: "rr", Devices: 4, ULP: "tls", DataPath: "peer",
+			Msg: 4096, Conns: 128, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
 	}
 }
 
@@ -237,20 +252,38 @@ func runSerialWorkload(sc BenchScenario, params sim.Params) (server.Metrics, err
 	if isFleet {
 		ranks = sc.Devices
 	}
+	peer := sc.DataPath == "peer"
+	if sc.DataPath != "" && sc.DataPath != "host" && !peer {
+		return server.Metrics{}, fmt.Errorf("scenario %s: unknown data path %q", sc.Name, sc.DataPath)
+	}
+	if peer && !withDIMM {
+		return server.Metrics{}, fmt.Errorf("scenario %s: peer data path needs an inline placement", sc.Name)
+	}
+	dp := sim.DataPathHost
+	if peer {
+		dp = sim.DataPathPeer
+	}
 	sys, err := sim.NewSystem(sim.SystemConfig{
 		Params: params, LLCBytes: 2 << 20, LLCWays: 8,
 		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
 		WithSmartDIMM:  withDIMM,
 		SmartDIMMRanks: ranks,
+		DataPath:       dp,
 	})
 	if err != nil {
 		return server.Metrics{}, err
+	}
+	var nic *rdma.NIC
+	if peer {
+		if nic, err = rdma.New(rdma.Config{Sys: sys}); err != nil {
+			return server.Metrics{}, err
+		}
 	}
 
 	var backend offload.Backend
 	switch {
 	case isFleet:
-		fl, err := fleet.New(fleet.Config{Sys: sys, Policy: pol})
+		fl, err := fleet.New(fleet.Config{Sys: sys, Policy: pol, RNIC: nic})
 		if err != nil {
 			return server.Metrics{}, err
 		}
@@ -261,6 +294,11 @@ func runSerialWorkload(sc BenchScenario, params sim.Params) (server.Metrics, err
 		backend = &offload.SmartDIMM{Sys: sys}
 	default:
 		return server.Metrics{}, fmt.Errorf("scenario %s: unknown placement %q", sc.Name, sc.Placement)
+	}
+	if peer {
+		if backend, err = offload.NewRDMA(backend, nic); err != nil {
+			return server.Metrics{}, err
+		}
 	}
 
 	mode := server.HTTPSMode

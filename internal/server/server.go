@@ -75,17 +75,26 @@ type connState struct {
 // Pipeline stage indices for Metrics.StagePs. StageWire is the shared
 // NIC link's serialization window, split out from the TX stage's CPU
 // cost so the breakdown separates host work from wire occupancy.
+// StageBounce is the host-DRAM bounce: a page-cache miss re-staging the
+// payload through storage + DDIO (LLC DMA ways) — the cost the peer-DMA
+// data path eliminates. StageRDMA is its replacement on DataPathPeer:
+// the NIC's one-sided WRITE depositing the record straight into the
+// connection's registered SmartDIMM buffer. The two are mutually
+// exclusive per run, which is what makes "bounce absent under peer-DMA"
+// checkable straight off the critical-path breakdown.
 const (
 	StageParse = iota
 	StageCopy
 	StageULP
 	StageTX
 	StageWire
+	StageBounce
+	StageRDMA
 	NumStages
 )
 
 // StageNames labels Metrics.StagePs entries, indexed by Stage*.
-var StageNames = [NumStages]string{"parse", "copy", "ulp", "tx", "wire"}
+var StageNames = [NumStages]string{"parse", "copy", "ulp", "tx", "wire", "bounce", "rdma"}
 
 // Metrics are the measured outcomes of a run.
 type Metrics struct {
@@ -151,6 +160,14 @@ type Server struct {
 	// link transmitter occupancy (shared NIC)
 	linkBusyPs int64
 
+	// ing is the peer-DMA ingress (DataPathPeer only): stage-0 restages
+	// and construction-time staging go through the RDMA NIC instead of
+	// storage DMA through DDIO. Nil on the host-mediated path.
+	ing offload.Ingestor
+	// bounceBytes accumulates host-DRAM bounce traffic (DDIO restages)
+	// for the LLC-pressure counter on the nic track.
+	bounceBytes uint64
+
 	// tracing (all nil/zero when cfg.Sys.Tracer is nil)
 	tr           *telemetry.Tracer
 	workerTracks []telemetry.TrackID
@@ -213,6 +230,13 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 		s.reqTrack = tr.Track("requests")
 	}
 	inline := cfg.Mode != PlainHTTP && cfg.Backend != nil && cfg.Backend.InlineSource()
+	if cfg.Sys.DataPath == sim.DataPathPeer {
+		ing, ok := cfg.Backend.(offload.Ingestor)
+		if !ok || !inline {
+			return nil, fmt.Errorf("server: peer data path needs an RDMA-backed inline backend (have %T)", cfg.Backend)
+		}
+		s.ing = ing
+	}
 	for id := 0; id < cfg.Connections; id++ {
 		c := &connState{id: id}
 		c.payload = corpus.Generate(cfg.FileKind, cfg.MsgSize, cfg.Seed+int64(id))
@@ -233,7 +257,14 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 			// The page cache lives in conn.Src on the SmartDIMM itself
 			// (Benefit B2); CompCpy consumes it without a staging copy.
 			c.filePage = c.oconn.Src
-			if err := offload.StagePayloadDMA(cfg.Sys, c.oconn, c.payload); err != nil {
+			if s.ing != nil {
+				// Peer path: the working set arrived over RDMA before
+				// the measured epoch — registered-MR bounds checks and
+				// functional writes, no wire occupancy.
+				if err := s.ing.Preload(c.oconn, c.payload); err != nil {
+					return nil, err
+				}
+			} else if err := offload.StagePayloadDMA(cfg.Sys, c.oconn, c.payload); err != nil {
 				return nil, err
 			}
 		} else {
@@ -307,14 +338,38 @@ func (s *Server) serve(req pendingReq, w int) {
 // request for its next stage (or completes it). ran names the stage
 // that just executed (PlainHTTP bumps rc.stage before releasing).
 func (s *Server) requeue(rc *reqCtx, ran int, stageCPU, stageDev int64, final bool) {
+	s.requeueSplit(rc, ran, stageCPU, ran, stageDev, final)
+}
+
+// requeueSplit is requeue with separate attribution for the CPU and
+// device portions of a stage — how the parse stage's page-cache-miss
+// device time lands on the "bounce" (host DDIO) or "rdma" (peer
+// deposit) stage while its CPU time stays on "parse". Timing is
+// identical to the single-stage form; only the breakdown accounting and
+// span names differ.
+func (s *Server) requeueSplit(rc *reqCtx, cpuStage int, stageCPU int64, devStage int, stageDev int64, final bool) {
 	rc.cpu += stageCPU
 	rc.device += stageDev
 	dur := stageCPU + stageDev
 	if s.measuring {
-		s.stagePs[ran] += dur
+		if cpuStage == devStage {
+			s.stagePs[cpuStage] += dur
+		} else {
+			s.stagePs[cpuStage] += stageCPU
+			s.stagePs[devStage] += stageDev
+		}
 	}
 	if s.tr != nil && dur > 0 {
-		s.tr.Span(s.workerTracks[rc.worker], StageNames[ran], s.eng.Now(), dur)
+		if cpuStage == devStage {
+			s.tr.Span(s.workerTracks[rc.worker], StageNames[cpuStage], s.eng.Now(), dur)
+		} else {
+			if stageCPU > 0 {
+				s.tr.Span(s.workerTracks[rc.worker], StageNames[cpuStage], s.eng.Now(), stageCPU)
+			}
+			if stageDev > 0 {
+				s.tr.Span(s.workerTracks[rc.worker], StageNames[devStage], s.eng.Now()+stageCPU, stageDev)
+			}
+		}
 	}
 	s.eng.At(s.eng.Now()+dur, func() {
 		s.freeWorkers = append(s.freeWorkers, rc.worker)
@@ -367,22 +422,46 @@ func (s *Server) runStage(rc *reqCtx) {
 	case 0: // parse + file fetch
 		cpu := p.HTTPParseNs * sim.Ns
 		var device int64
+		devStage := StageParse
 		if s.rng.Float64() >= p.PageCacheHitRate {
-			device = int64(p.StorageReadUsPer4KB * float64(sim.Us) * float64((s.cfg.MsgSize+4095)/4096))
-			if inline {
-				if err := offload.StagePayloadDMA(s.cfg.Sys, c.oconn, c.payload); err != nil {
+			if s.ing != nil {
+				// Peer-DMA refill: the record is re-fetched from the
+				// remote origin as one-sided RDMA WRITEs landing in the
+				// connection's registered MR — no storage read, no
+				// host-DRAM bounce, no DDIO occupancy. The NIC charges
+				// doorbells, wire serialization and the owning rank's
+				// write timing.
+				d, err := s.ing.Ingest(c.oconn, c.payload)
+				if err != nil {
 					s.failReq(rc, err)
 					return
 				}
-			} else if err := s.cfg.Sys.DMAIn(c.filePage, c.payload); err != nil {
-				s.failReq(rc, err)
-				return
+				device = d
+				devStage = StageRDMA
+			} else {
+				// Host-mediated refill: storage read plus the DDIO
+				// bounce through host DRAM / the LLC's DMA ways.
+				device = int64(p.StorageReadUsPer4KB * float64(sim.Us) * float64((s.cfg.MsgSize+4095)/4096))
+				if inline {
+					if err := offload.StagePayloadDMA(s.cfg.Sys, c.oconn, c.payload); err != nil {
+						s.failReq(rc, err)
+						return
+					}
+				} else if err := s.cfg.Sys.DMAIn(c.filePage, c.payload); err != nil {
+					s.failReq(rc, err)
+					return
+				}
+				devStage = StageBounce
+				if s.tr != nil {
+					s.bounceBytes += uint64(len(c.payload))
+					s.tr.Counter(s.nicTrack, "ddio_bounce_bytes", s.eng.Now(), float64(s.bounceBytes))
+				}
 			}
 		}
 		if s.cfg.Mode == PlainHTTP {
 			rc.stage++ // skip the copy and ULP stages
 		}
-		s.requeue(rc, StageParse, cpu, device, false)
+		s.requeueSplit(rc, StageParse, cpu, devStage, device, false)
 
 	case 1: // app copy out of the page cache (skipped for inline)
 		var cpu int64

@@ -13,10 +13,39 @@ import (
 	"repro/internal/telemetry"
 )
 
+// DataPath selects how inbound record payloads reach memory — the
+// placement axis the RDMA/peer-DMA experiments compare.
+type DataPath int
+
+const (
+	// DataPathHost is the historical path: storage or NIC RX delivers
+	// payloads into host DRAM through DDIO (LLC DMA ways), and inline
+	// backends re-stage them into SmartDIMM buffers from there.
+	DataPathHost DataPath = iota
+	// DataPathPeer is the zero-copy path: an RDMA-capable NIC writes
+	// records straight into SmartDIMM lower-half buffers (registered
+	// memory regions) via one-sided WRITE, bypassing host DRAM and the
+	// LLC's DDIO ways entirely.
+	DataPathPeer
+)
+
+// String names the data path.
+func (d DataPath) String() string {
+	if d == DataPathPeer {
+		return "peer"
+	}
+	return "host"
+}
+
 // SystemConfig assembles a full host: LLC, memory channels (the first
 // optionally a SmartDIMM), and calibration parameters.
 type SystemConfig struct {
 	Params Params
+	// DataPath selects the host-mediated (default) or peer-DMA ingress
+	// path. The system only records the choice; internal/rdma supplies
+	// the NIC model and internal/server consults the field to pick the
+	// staging route.
+	DataPath DataPath
 	// LLCBytes/LLCWays size the shared LLC; zero selects the testbed
 	// default (22MB, 11 ways).
 	LLCBytes int
@@ -62,13 +91,14 @@ type SystemConfig struct {
 // System is the assembled host model shared by the offload backends and
 // the server model.
 type System struct {
-	Params  Params
-	Engine  *Engine
-	Hier    *memsys.Hierarchy
-	Dev     *core.Device // nil without SmartDIMM; rank 0 with several
-	Driver  *core.Driver // nil without SmartDIMM; rank 0 with several
-	Trace   *stats.CASTrace
-	BWMeter *stats.BandwidthMeter
+	Params   Params
+	DataPath DataPath
+	Engine   *Engine
+	Hier     *memsys.Hierarchy
+	Dev      *core.Device // nil without SmartDIMM; rank 0 with several
+	Driver   *core.Driver // nil without SmartDIMM; rank 0 with several
+	Trace    *stats.CASTrace
+	BWMeter  *stats.BandwidthMeter
 
 	// Devs/Drivers list every SmartDIMM rank in channel order; with a
 	// single rank they alias Dev/Driver. Meters holds the per-channel
@@ -126,7 +156,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if eng == nil {
 		eng = NewEngine()
 	}
-	sys := &System{Params: cfg.Params, Engine: eng}
+	sys := &System{Params: cfg.Params, DataPath: cfg.DataPath, Engine: eng}
 	sys.Tracer = cfg.Tracer
 	sys.Engine.Tracer = cfg.Tracer
 	// Channel-0 fault sites (core.*, memctrl.crc, dram.alert) all fire on
@@ -335,6 +365,29 @@ func (s *System) DMAIn(addr uint64, data []byte) error {
 		}
 	}
 	return nil
+}
+
+// PeerDMAWrite models an RDMA NIC depositing data directly into
+// device-adjacent memory (peer DMA): every line goes to the owning
+// rank's controller — metered and priced by that rank's write-queue
+// timing — without touching the LLC's DDIO ways. Returns the aggregate
+// device-side latency; like DMAOut, the NIC's write engine pipelines
+// outstanding lines MLP-wide.
+func (s *System) PeerDMAWrite(addr uint64, data []byte) (int64, error) {
+	var lat int64
+	var line [dram.CachelineSize]byte
+	for off := 0; off < len(data); off += dram.CachelineSize {
+		n := copy(line[:], data[off:])
+		for i := n; i < dram.CachelineSize; i++ {
+			line[i] = 0
+		}
+		l, err := s.Hier.PeerDMAWrite64(addr+uint64(off), line[:])
+		if err != nil {
+			return 0, err
+		}
+		lat += l
+	}
+	return lat / MemMLP, nil
 }
 
 // DMAOut models NIC TX DMA reading n bytes, returning the data and the
