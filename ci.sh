@@ -56,10 +56,19 @@
 #                     and mid-migration races), and the KPI bench gate
 #                     (which includes the pinned rdma-4rank scenario)
 #
+#  13. workload gate — the production workload suite + SLO autoscaler:
+#                     the zipf/KV/embed source unit tests, the arrival
+#                     trace determinism gates, the autoscaler hysteresis
+#                     tests, the fleet admin-drain/telemetry tests, and
+#                     the bounded flash-crowd + rank-fault soak — all
+#                     under -race — plus the KPI bench gate (which
+#                     includes the pinned kv-4rank/embed-4rank
+#                     scenarios)
+#
 # `./ci.sh bench` runs only the KPI bench stage — the quick loop while
 # tuning performance. `./ci.sh shard` runs only the shard gate.
 # `./ci.sh cluster` runs only the cluster gate. `./ci.sh rdma` runs
-# only the rdma gate.
+# only the rdma gate. `./ci.sh workload` runs only the workload gate.
 set -eu
 cd "$(dirname "$0")"
 
@@ -109,6 +118,18 @@ run_rdma() {
 	run_bench
 }
 
+run_workload_tests() {
+	echo "== workload gate: sources, arrivals, autoscaler, fleet admin surface (under -race)"
+	go test -race ./internal/workload/ ./internal/autoscale/ ./internal/wrkgen/
+	go test -race -run 'TestFleetDrainAdmitHeld|TestFleetSetPolicyLive|TestFleetQDepthTelemetry|TestFleetMetricsConcurrentRegistration' ./internal/fleet/
+	go test -race -short -run 'TestWorkloadSoak' ./internal/chaos/
+}
+
+run_workload() {
+	run_workload_tests
+	run_bench
+}
+
 if [ "${1:-}" = "bench" ]; then
 	run_bench
 	exit 0
@@ -123,6 +144,10 @@ if [ "${1:-}" = "cluster" ]; then
 fi
 if [ "${1:-}" = "rdma" ]; then
 	run_rdma
+	exit 0
+fi
+if [ "${1:-}" = "workload" ]; then
+	run_workload
 	exit 0
 fi
 
@@ -156,6 +181,8 @@ run_shard
 run_cluster_tests
 
 run_rdma_tests
+
+run_workload_tests
 
 run_bench
 

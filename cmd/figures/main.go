@@ -11,6 +11,7 @@
 //	figures -fig shard    # sharded-engine wall-clock scaling (not in "all")
 //	figures -fig failover # cluster availability across a node kill (not in "all")
 //	figures -fig rdma     # zero-copy peer-DMA vs host-mediated data path (not in "all")
+//	figures -fig autoscale # SLO autoscaler vs flash crowd + rank fault (not in "all")
 //	figures -table 1      # Table I
 //	figures -power        # §VII-D power/area model
 //	figures -scale paper  # testbed-scale workloads (slower)
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,shard,failover,breakdown,critpath,rdma); empty = all (non-paper figures excluded)")
+	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,shard,failover,breakdown,critpath,rdma,autoscale); empty = all (non-paper figures excluded)")
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
@@ -84,6 +85,9 @@ func main() {
 	if *fig == "rdma" {
 		figRDMA(pool, sc)
 	}
+	if *fig == "autoscale" {
+		figAutoscale()
+	}
 	if run(3) {
 		fig3(pool, sc)
 	}
@@ -129,6 +133,25 @@ func figFailover() {
 		fail(err)
 	}
 	if err := res.WriteFailoverTimeline(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Println()
+}
+
+// figAutoscale replays the flash-crowd + rank-fault workload scenario
+// under the SLO autoscaler and prints the per-tick p99/active-rank
+// timeline with every controller decision marked (production-workload
+// extension; not a paper figure).
+func figAutoscale() {
+	fmt.Println("=== SLO autoscaler: KV-cache fleet vs flash crowd + rank fault ===")
+	fmt.Println("model: 4-rank fleet starting at 2 active, open-loop KV trace (900k rps base,")
+	fmt.Println("       2.5x crowd 3-6ms), rank 1 killed at 4.2ms; the controller admits parked")
+	fmt.Println("       ranks on sustained p99 breach (SLO 100us) and drains them back after")
+	res, err := experiments.Autoscale(11)
+	if err != nil {
+		fail(err)
+	}
+	if err := res.WriteAutoscaleTimeline(os.Stdout); err != nil {
 		fail(err)
 	}
 	fmt.Println()

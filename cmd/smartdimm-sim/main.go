@@ -27,6 +27,15 @@
 //	smartdimm-sim -placement smartdimm -msg 1024,4096,16384 -conns 64,256
 //	smartdimm-sim -placement leastload -devices 4 -ulp compression -conns 128
 //	smartdimm-sim -placement rr -devices 4 -datapath peer -msg 16384
+//	smartdimm-sim -workload kv -devices 4 -rps 1800000 -conns 64
+//	smartdimm-sim -workload embed -devices 4 -rps 500000 -slo-us 100
+//
+// Workload suite: -workload kv|embed replaces the closed-loop generator
+// with the trace-replay workload suite (internal/workload) — an
+// open-loop arrival trace at -rps drives the KV-cache GET/SET mix or
+// the embedding-gather mix over a -devices-rank fleet; -msg is ignored
+// (the source's payload mix governs). -slo-us additionally runs the SLO
+// autoscaler over the fleet and reports its action log.
 //
 // Data path: -datapath host (default) refills page-cache misses by
 // storage DMA bounced through host DRAM; -datapath peer installs the
@@ -43,6 +52,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/autoscale"
 	"repro/internal/corpus"
 	"repro/internal/dram"
 	"repro/internal/fleet"
@@ -53,6 +63,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 	"repro/internal/wrkgen"
 )
 
@@ -74,6 +85,9 @@ type cliConfig struct {
 	tracePath   string
 	metrics     bool
 	profile     bool
+	workload    string
+	rps         float64
+	sloUs       float64
 }
 
 func main() {
@@ -97,6 +111,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file (single-point sweeps only)")
 	metrics := flag.Bool("metrics", false, "append the full metrics registry (name value lines) to the report")
 	prof := flag.Bool("profile", false, "append the simulated-time profile tree and critical-path table to the report (traces the run internally)")
+	workloadName := flag.String("workload", "", "trace-replay workload suite: kv (cache GET/SET mix) | embed (embedding gathers); empty = closed-loop generator")
+	rps := flag.Float64("rps", 1e6, "with -workload: open-loop offered rate (requests/s)")
+	sloUs := flag.Float64("slo-us", 0, "with -workload: run the SLO autoscaler with this p99 latency objective (us); 0 = no autoscaler")
 	flag.Parse()
 
 	kind, err := parseKind(*kindName)
@@ -122,6 +139,7 @@ func main() {
 		llc: *llc, ways: *ways, kind: kind,
 		warmupMs: *warmupMs, measureMs: *measureMs, seed: *seed,
 		tracePath: *tracePath, metrics: *metrics, profile: *prof,
+		workload: strings.ToLower(*workloadName), rps: *rps, sloUs: *sloUs,
 	}
 
 	type point struct{ msg, conns int }
@@ -158,6 +176,12 @@ func main() {
 // runOne builds a fresh system, runs one closed-loop measurement, and
 // returns the formatted report.
 func runOne(cfg cliConfig, msg, conns int) (string, error) {
+	if cfg.workload != "" {
+		if cfg.shards > 0 || cfg.datapath == "peer" || cfg.tracePath != "" || cfg.profile {
+			return "", fmt.Errorf("-workload: not combinable with -shards, -datapath peer, -trace, or -profile")
+		}
+		return runWorkload(cfg, conns)
+	}
 	if cfg.shards > 0 {
 		if cfg.datapath == "peer" {
 			return "", fmt.Errorf("-datapath peer: not supported with -shards")
@@ -371,6 +395,69 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 		}
 		fmt.Fprintf(&b, "trace:       %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n",
 			cfg.tracePath, tracer.Len())
+	}
+	return b.String(), nil
+}
+
+// runWorkload drives the trace-replay workload suite: an open-loop
+// arrival trace at cfg.rps over a cfg.devices-rank fleet, optionally
+// supervised by the SLO autoscaler (-slo-us).
+func runWorkload(cfg cliConfig, conns int) (string, error) {
+	pol, polErr := fleet.ParsePolicy(cfg.placement)
+	if polErr != nil {
+		if cfg.placement != "smartdimm" {
+			return "", fmt.Errorf("-workload: placement %q is single-device; use smartdimm or a fleet policy (rr, leastload, affinity, sticky)", cfg.placement)
+		}
+		pol = fleet.RoundRobin
+	}
+	warmup, measure := int64(cfg.warmupMs)*sim.Ms, int64(cfg.measureMs)*sim.Ms
+	rc := workload.RunConfig{
+		Kind: cfg.workload, Ranks: cfg.devices, Policy: pol,
+		Conns: conns, Workers: cfg.workers, Seed: cfg.seed,
+		HorizonPs: warmup + measure, WarmupPs: warmup,
+		KV:       workload.KVConfig{ZipfS: 0.99},
+		Arrivals: wrkgen.ArrivalConfig{Streams: 4, BaseRPS: cfg.rps},
+	}
+	if cfg.sloUs > 0 {
+		rc.Scale = &autoscale.Config{SLOPs: cfg.sloUs * float64(sim.Us)}
+	}
+	rep, err := workload.Run(rc)
+	if err != nil {
+		return "", err
+	}
+	m := rep.Metrics
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload:    %s, %.0f rps offered (open loop), %d connections, %d workers\n",
+		rep.Kind, cfg.rps, conns, cfg.workers)
+	fmt.Fprintf(&b, "fleet:       %d devices (%s), %d active at end\n", cfg.devices, pol, rep.FinalActive)
+	fmt.Fprintf(&b, "issued:      %d (%d completed, peak in-flight %d)\n", rep.Issued, rep.Completed, rep.PeakInFlight)
+	fmt.Fprintf(&b, "requests:    %d in %.2fms\n", m.Requests, float64(m.ElapsedPs)/float64(sim.Ms))
+	fmt.Fprintf(&b, "RPS:         %.0f\n", m.RPS)
+	fmt.Fprintf(&b, "CPU util:    %.1f%%\n", m.CPUUtil*100)
+	fmt.Fprintf(&b, "memory BW:   %.3f GB/s (%d bytes)\n", m.MemBWGBps, m.MemBytes)
+	fmt.Fprintf(&b, "latency:     p50 %.1f us, p99 %.1f us (end to end)\n",
+		rep.P50Ps/float64(sim.Us), rep.P99Ps/float64(sim.Us))
+	switch rep.Kind {
+	case "kv":
+		fmt.Fprintf(&b, "mix:         %d gets / %d sets\n", rep.Gets, rep.Sets)
+	case "embed":
+		fmt.Fprintf(&b, "mix:         %d gathers\n", rep.Gathers)
+	}
+	if rc.Scale != nil {
+		fmt.Fprintf(&b, "autoscaler:  SLO %.0fus held %.0f%% of ticks; %d admits, %d drains\n",
+			cfg.sloUs, rep.SLOHeldFrac*100, rep.Fleet.AdminAdmits, rep.Fleet.AdminDrains)
+		if rep.Actions != "" {
+			fmt.Fprintf(&b, "--- actions ---\n%s", rep.Actions)
+		}
+	}
+	if cfg.metrics {
+		reg := telemetry.NewRegistry()
+		reg.Register("server", m)
+		reg.Register("run", rep)
+		fmt.Fprintf(&b, "--- metrics ---\n")
+		if err := reg.WriteText(&b); err != nil {
+			return "", err
+		}
 	}
 	return b.String(), nil
 }

@@ -1,0 +1,318 @@
+// Package autoscale is the SLO-driven fleet controller: a closed loop
+// that watches the telemetry registry on simulated-time ticks and
+// resizes the active rank set — admitting parked ranks when the rolling
+// p99 breaches the latency SLO, draining them back out when the tail
+// falls comfortably under it, and flipping the placement policy when
+// per-rank queue depths diverge. Everything it reads comes through the
+// registry (the same samples an operator would graph): the rolling
+// latency window under <LatencyPrefix>.p99/.count, per-rank queue-depth
+// sketches under fleet.rank<i>.qdepth.p99, the activity bitmap under
+// fleet.state.rank<i>.
+//
+// The controller is deliberately conservative — production autoscalers
+// that react to single samples flap, and flapping is worse than either
+// steady state: every admit/drain resharding connections costs
+// migrations. Three mechanisms damp it:
+//
+//   - hysteresis: a scale-up needs UpAfter consecutive breach ticks, a
+//     scale-down needs DownAfter consecutive ticks below LowFrac*SLO —
+//     an oscillating tail straddling the SLO edge never accumulates
+//     either streak;
+//   - cooldown: after any action the controller sits out CooldownTicks
+//     ticks, long enough for the reshard to show up in the window;
+//   - a dead band: between LowFrac*SLO and SLO neither streak grows.
+//
+// The controller runs entirely inside the discrete-event engine (one
+// self-rescheduling tick event), so runs are deterministic: same seed,
+// same trace, same actions, at any GOMAXPROCS.
+package autoscale
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Scaler is the fleet surface the controller drives. internal/fleet's
+// Fleet implements it (administrative Drain/Admit hold members out of
+// the breaker's auto-readmission).
+type Scaler interface {
+	Members() int
+	ActiveMembers() int
+	IsActive(i int) bool
+	Drain(i int) error
+	Admit(i int) error
+}
+
+// Config parameterizes a controller.
+type Config struct {
+	Eng *sim.Engine
+	Reg *telemetry.Registry
+	Fl  Scaler
+	// Window is the rolling latency record the server feeds; the
+	// controller rolls it once per tick so <LatencyPrefix>.p99 always
+	// spans the last few ticks, not the whole run.
+	Window *stats.Window
+	// LatencyPrefix locates the window's samples in the registry.
+	// Empty selects "server.window".
+	LatencyPrefix string
+
+	// TickPs is the control interval. Zero selects 500us.
+	TickPs int64
+	// SLOPs is the p99 latency objective in picoseconds (required).
+	SLOPs float64
+	// LowFrac*SLOPs is the scale-down threshold. Zero selects 0.4.
+	LowFrac float64
+	// UpAfter consecutive breach ticks trigger an admit; zero selects 2.
+	UpAfter int
+	// DownAfter consecutive low ticks trigger a drain; zero selects 4.
+	DownAfter int
+	// CooldownTicks is the post-action quiet period; zero selects 3.
+	CooldownTicks int
+	// MinActive floors scale-down. Zero selects 1.
+	MinActive int
+	// MinSamples skips control decisions on ticks whose window holds
+	// fewer completions (idle start, post-reshard gap). Zero selects 32.
+	MinSamples int
+
+	// FlipPolicy, when non-nil, is invoked (once) when the active ranks'
+	// qdepth p99s stay imbalanced — max > ImbalanceRatio*min — for
+	// ImbalanceAfter consecutive ticks: the hook where the fleet flips
+	// rr/affinity to leastload live.
+	FlipPolicy     func()
+	ImbalanceRatio float64 // zero selects 4
+	ImbalanceAfter int     // zero selects 3
+}
+
+func (c *Config) defaults() error {
+	if c.Eng == nil || c.Reg == nil || c.Fl == nil || c.Window == nil {
+		return fmt.Errorf("autoscale: need engine, registry, scaler, and window")
+	}
+	if c.SLOPs <= 0 {
+		return fmt.Errorf("autoscale: need a latency SLO")
+	}
+	if c.LatencyPrefix == "" {
+		c.LatencyPrefix = "server.window"
+	}
+	if c.TickPs <= 0 {
+		c.TickPs = 500 * sim.Us
+	}
+	if c.LowFrac <= 0 || c.LowFrac >= 1 {
+		c.LowFrac = 0.4
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 2
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 4
+	}
+	if c.CooldownTicks <= 0 {
+		c.CooldownTicks = 3
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 32
+	}
+	if c.ImbalanceRatio <= 0 {
+		c.ImbalanceRatio = 4
+	}
+	if c.ImbalanceAfter <= 0 {
+		c.ImbalanceAfter = 3
+	}
+	return nil
+}
+
+// Action is one control decision, for the run report and tests.
+type Action struct {
+	AtPs int64
+	What string // "admit", "drain", "flip-policy"
+	Rank int    // -1 for flip-policy
+	P99  float64
+}
+
+func (a Action) String() string {
+	if a.Rank < 0 {
+		return fmt.Sprintf("%d %s p99=%g", a.AtPs, a.What, a.P99)
+	}
+	return fmt.Sprintf("%d %s d%d p99=%g", a.AtPs, a.What, a.Rank, a.P99)
+}
+
+// Controller is the live autoscaler.
+type Controller struct {
+	cfg Config
+
+	// Actions is the decision log; TraceString renders it.
+	Actions []Action
+	// P99Ps and Active sample the observed tail and active rank count at
+	// every tick (the autoscale figure's timeline).
+	P99Ps  []float64
+	Active []int
+	// Ticks counts control intervals; SLOHeldTicks those whose measured
+	// p99 (with enough samples) met the SLO — the soak's figure of merit.
+	Ticks         int
+	SLOHeldTicks  int
+	MeasuredTicks int
+
+	breachStreak, lowStreak, imbStreak int
+	cooldown                           int
+	flipped                            bool
+}
+
+// New validates the config and builds a controller; Start arms it.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Start schedules the first tick one interval out.
+func (c *Controller) Start() {
+	c.cfg.Eng.After(c.cfg.TickPs, c.tick)
+}
+
+// tick is one control interval: read the registry, decide, roll the
+// window, re-arm.
+func (c *Controller) tick() {
+	m := map[string]float64{}
+	for _, s := range c.cfg.Reg.Snapshot() {
+		m[s.Name] = s.Value
+	}
+	p99 := m[c.cfg.LatencyPrefix+".p99"]
+	count := int(m[c.cfg.LatencyPrefix+".count"])
+	c.Ticks++
+	c.P99Ps = append(c.P99Ps, p99)
+	c.Active = append(c.Active, c.cfg.Fl.ActiveMembers())
+
+	if count >= c.cfg.MinSamples {
+		c.MeasuredTicks++
+		if p99 <= c.cfg.SLOPs {
+			c.SLOHeldTicks++
+		}
+		c.decide(p99)
+		c.checkImbalance(m, p99)
+	}
+
+	c.cfg.Window.Roll()
+	c.cfg.Eng.After(c.cfg.TickPs, c.tick)
+}
+
+// decide applies the hysteresis ladder to the measured tail.
+func (c *Controller) decide(p99 float64) {
+	if c.cooldown > 0 {
+		c.cooldown--
+		return
+	}
+	switch {
+	case p99 > c.cfg.SLOPs:
+		c.breachStreak++
+		c.lowStreak = 0
+		if c.breachStreak >= c.cfg.UpAfter {
+			c.scaleUp(p99)
+		}
+	case p99 < c.cfg.LowFrac*c.cfg.SLOPs:
+		c.lowStreak++
+		c.breachStreak = 0
+		if c.lowStreak >= c.cfg.DownAfter {
+			c.scaleDown(p99)
+		}
+	default:
+		// Dead band: neither streak accumulates across it.
+		c.breachStreak, c.lowStreak = 0, 0
+	}
+}
+
+// scaleUp admits the lowest-indexed parked rank.
+func (c *Controller) scaleUp(p99 float64) {
+	c.breachStreak = 0
+	for i := 0; i < c.cfg.Fl.Members(); i++ {
+		if c.cfg.Fl.IsActive(i) {
+			continue
+		}
+		if err := c.cfg.Fl.Admit(i); err != nil {
+			return
+		}
+		c.act("admit", i, p99)
+		return
+	}
+	// Every rank already active: nothing to give; stay quiet until the
+	// streak rebuilds (no cooldown charged for a no-op).
+}
+
+// scaleDown drains the highest-indexed active rank, respecting the floor.
+func (c *Controller) scaleDown(p99 float64) {
+	c.lowStreak = 0
+	if c.cfg.Fl.ActiveMembers() <= c.cfg.MinActive {
+		return
+	}
+	for i := c.cfg.Fl.Members() - 1; i >= 0; i-- {
+		if !c.cfg.Fl.IsActive(i) {
+			continue
+		}
+		if err := c.cfg.Fl.Drain(i); err != nil {
+			return
+		}
+		c.act("drain", i, p99)
+		return
+	}
+}
+
+// checkImbalance watches the active ranks' qdepth p99 spread and fires
+// the policy-flip hook when it stays pathological.
+func (c *Controller) checkImbalance(m map[string]float64, p99 float64) {
+	if c.cfg.FlipPolicy == nil || c.flipped {
+		return
+	}
+	min, max, n := 0.0, 0.0, 0
+	for i := 0; i < c.cfg.Fl.Members(); i++ {
+		if m[fmt.Sprintf("fleet.state.rank%d", i)] != 1 {
+			continue
+		}
+		q := m[fmt.Sprintf("fleet.rank%d.qdepth.p99", i)]
+		if n == 0 || q < min {
+			min = q
+		}
+		if q > max {
+			max = q
+		}
+		n++
+	}
+	if n < 2 || max <= (min+1)*c.cfg.ImbalanceRatio {
+		c.imbStreak = 0
+		return
+	}
+	if c.imbStreak++; c.imbStreak >= c.cfg.ImbalanceAfter {
+		c.cfg.FlipPolicy()
+		c.flipped = true
+		c.act("flip-policy", -1, p99)
+	}
+}
+
+func (c *Controller) act(what string, rank int, p99 float64) {
+	c.Actions = append(c.Actions, Action{AtPs: c.cfg.Eng.Now(), What: what, Rank: rank, P99: p99})
+	c.cooldown = c.cfg.CooldownTicks
+}
+
+// SLOHeldFrac is the fraction of measured ticks that met the SLO.
+func (c *Controller) SLOHeldFrac() float64 {
+	if c.MeasuredTicks == 0 {
+		return 0
+	}
+	return float64(c.SLOHeldTicks) / float64(c.MeasuredTicks)
+}
+
+// TraceString renders the action log one decision per line — the
+// byte-compared artifact of the workload determinism gate.
+func (c *Controller) TraceString() string {
+	var b strings.Builder
+	for _, a := range c.Actions {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -52,12 +52,12 @@ type RDMAReport struct {
 	// Consults/Fired are the injector's totals across all sites.
 	Consults, Fired int64
 	// NIC counters after the final drain.
-	Posted, Completed, Failed     uint64
-	DoorbellsLost, RNRNaks        uint64
-	StaleRetries, BoundsRefusals  uint64
-	PeerBytes                     uint64
-	Migrations                    uint64
-	Violations                    []string
+	Posted, Completed, Failed    uint64
+	DoorbellsLost, RNRNaks       uint64
+	StaleRetries, BoundsRefusals uint64
+	PeerBytes                    uint64
+	Migrations                   uint64
+	Violations                   []string
 	// Trace concatenates the fault, NIC-op, and placement traces; it
 	// must replay byte-identically from the seed.
 	Trace string

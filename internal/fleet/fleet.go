@@ -167,6 +167,7 @@ type member struct {
 
 	state        memberState
 	probation    bool   // just readmitted: one strike re-trips
+	held         bool   // administratively drained (autoscaler): no auto-readmit
 	cooldownLeft int    // fleet submissions until half-open
 	consecFails  int    // consecutive full-fallback Process calls
 	lastFallback uint64 // backend fallback counter at last check
@@ -174,6 +175,10 @@ type member struct {
 	// ServicePs collects per-request device service time; Totals merges
 	// the per-member histograms into the fleet sketch.
 	ServicePs stats.Histogram
+	// QDepth samples the member's submission-queue depth at every fleet
+	// operation — the p50/p99 per-rank signal the autoscaler reads from
+	// the telemetry registry (RegisterMetrics).
+	QDepth stats.Histogram
 
 	submitted, shed, migratedIn, migratedOut uint64
 }
@@ -205,6 +210,8 @@ type Totals struct {
 	Trips           uint64 // breaker opens
 	Readmits        uint64 // breaker closes
 	SoftOps         uint64 // Process calls served homeless
+	AdminDrains     uint64 // administrative (autoscaler) drains
+	AdminAdmits     uint64 // administrative (autoscaler) admissions
 	MigratedBytes   uint64
 	BytesMoved      uint64          // summed channel traffic
 	ServicePs       stats.Histogram // merged per-member service times
@@ -218,16 +225,18 @@ type Fleet struct {
 	conns   map[int]*homeRec
 	soft    *offload.SmartDIMM // CPU-rung backend for homeless conns
 
-	rrNext   int
-	ops      uint64 // fleet-wide Process counter
-	trips    uint64
-	readmits uint64
-	softOps  uint64
-	migrated uint64
-	shed     uint64
-	migBytes uint64
-	descs    uint64
-	batches  uint64
+	rrNext      int
+	ops         uint64 // fleet-wide Process counter
+	trips       uint64
+	readmits    uint64
+	softOps     uint64
+	migrated    uint64
+	shed        uint64
+	migBytes    uint64
+	descs       uint64
+	batches     uint64
+	adminDrains uint64 // autoscaler Drain calls
+	adminAdmits uint64 // autoscaler Admit calls
 
 	trace []string
 
@@ -296,6 +305,7 @@ func New(cfg Config) (*Fleet, error) {
 		// Fleet service-time sketches live for the whole run at fleet
 		// request rates: bounded mode keeps their memory flat.
 		m.ServicePs.SetBounded()
+		m.QDepth.SetBounded()
 		f.members = append(f.members, m)
 	}
 	f.soft = &offload.SmartDIMM{Sys: cfg.Sys, Soft: true}
@@ -408,7 +418,9 @@ func (f *Fleet) Process(u offload.ULP, coreID int, conn *offload.Conn, payloadLe
 	return res, nil
 }
 
-// retire drops completed submissions from every member's queue.
+// retire drops completed submissions from every member's queue and
+// samples each active member's depth into its QDepth sketch (one
+// uniform sample per fleet operation).
 func (f *Fleet) retire(now int64) {
 	for _, m := range f.members {
 		q := m.inflight[:0]
@@ -418,6 +430,9 @@ func (f *Fleet) retire(now int64) {
 			}
 		}
 		m.inflight = q
+		if m.state == memberActive {
+			m.QDepth.Observe(float64(len(m.inflight)))
+		}
 	}
 }
 
@@ -427,7 +442,9 @@ func (f *Fleet) tickCooldowns() {
 		return
 	}
 	for _, m := range f.members {
-		if m.state != memberOpen {
+		// Held members were drained administratively (autoscaler): only
+		// an explicit Admit brings them back, never the breaker cooldown.
+		if m.state != memberOpen || m.held {
 			continue
 		}
 		if m.cooldownLeft--; m.cooldownLeft <= 0 {
@@ -886,6 +903,102 @@ func (f *Fleet) Readmit(i int) error {
 // QueueDepth returns member i's current submission-queue depth.
 func (f *Fleet) QueueDepth(i int) int { return len(f.members[i].inflight) }
 
+// RankQDepth returns member i's queue-depth sketch, for callers that
+// register per-rank collectors themselves (RegisterMetrics does all
+// ranks at once).
+func (f *Fleet) RankQDepth(i int) *stats.Histogram { return &f.members[i].QDepth }
+
+// IsActive reports whether member i currently accepts placements.
+func (f *Fleet) IsActive(i int) bool {
+	return i >= 0 && i < len(f.members) && f.members[i].state == memberActive
+}
+
+// Drain administratively removes member i from service: its connections
+// reshard across the survivors and the member is *held* out — unlike a
+// breaker trip, the readmission cooldown never brings it back; only
+// Admit does. This is the autoscaler's scale-down primitive. Draining
+// the last active member is refused: the fleet never scales to zero.
+func (f *Fleet) Drain(i int) error {
+	if i < 0 || i >= len(f.members) {
+		return fmt.Errorf("fleet: no member %d", i)
+	}
+	m := f.members[i]
+	if m.state == memberActive && f.ActiveMembers() <= 1 {
+		return fmt.Errorf("fleet: refusing to drain last active member %d", i)
+	}
+	if m.state == memberActive {
+		m.state = memberOpen
+		m.probation = false
+		m.consecFails = 0
+		m.inflight = m.inflight[:0]
+		m.busyUntilPs = 0
+		f.tracef("ascale drain d%d", i)
+		f.drain(m, f.cfg.Sys.Engine.Now())
+	}
+	m.held = true
+	f.adminDrains++
+	return nil
+}
+
+// Admit returns an administratively drained (or tripped) member to
+// service immediately and releases the hold. Admission is not
+// probational: the member didn't fail, the autoscaler just parked it.
+func (f *Fleet) Admit(i int) error {
+	if i < 0 || i >= len(f.members) {
+		return fmt.Errorf("fleet: no member %d", i)
+	}
+	m := f.members[i]
+	m.held = false
+	if m.state == memberOpen {
+		m.state = memberActive
+		m.probation = false
+		m.consecFails = 0
+		m.cooldownLeft = 0
+		f.tracef("ascale admit d%d", i)
+	}
+	f.adminAdmits++
+	return nil
+}
+
+// SetPolicy switches the placement policy live. Existing homes stay
+// where they are; the new policy governs placements, sheds, and drains
+// from the next operation on. The autoscaler uses this to flip from
+// rr/affinity to leastload when per-rank queue depths diverge.
+func (f *Fleet) SetPolicy(p Policy) {
+	if f.cfg.Policy == p {
+		return
+	}
+	f.cfg.Policy = p
+	f.tracef("policy -> %s", p)
+}
+
+// Policy returns the placement policy currently in force.
+func (f *Fleet) Policy() Policy { return f.cfg.Policy }
+
+// RegisterMetrics publishes the fleet into a telemetry registry: each
+// rank's queue-depth sketch under fleet.rank<i>.qdepth (the autoscaler's
+// per-rank signal — p50/p99 arrive as .p50/.p99 samples), a live
+// per-rank activity bitmap under fleet.state, and the fleet totals under
+// fleet. Registration is concurrency-safe (Registry locks), so per-rank
+// setup workers may call pieces of this in parallel and Sort after.
+func (f *Fleet) RegisterMetrics(reg *telemetry.Registry) {
+	for _, m := range f.members {
+		reg.Register(fmt.Sprintf("fleet.rank%d.qdepth", m.idx), &m.QDepth)
+	}
+	reg.Register("fleet.state", telemetry.CollectorFunc(func(emit func(telemetry.Sample)) {
+		for _, m := range f.members {
+			v := 0.0
+			if m.state == memberActive {
+				v = 1
+			}
+			emit(telemetry.Sample{Name: fmt.Sprintf("rank%d", m.idx), Value: v})
+		}
+	}))
+	reg.Register("fleet", telemetry.CollectorFunc(func(emit func(telemetry.Sample)) {
+		f.Totals().Collect(emit)
+	}))
+}
+
 // Home returns the member index a connection currently lives on, or -1
 // if it is homeless (CPU soft rung) or unknown.
 func (f *Fleet) Home(connID int) int {
@@ -928,6 +1041,8 @@ func (f *Fleet) Totals() Totals {
 		Trips:         f.trips,
 		Readmits:      f.readmits,
 		SoftOps:       f.softOps,
+		AdminDrains:   f.adminDrains,
+		AdminAdmits:   f.adminAdmits,
 		MigratedBytes: f.migBytes,
 	}
 	for _, m := range f.members {
@@ -954,6 +1069,8 @@ func (t Totals) Collect(emit func(telemetry.Sample)) {
 	emit(telemetry.Sample{Name: "trips", Value: float64(t.Trips)})
 	emit(telemetry.Sample{Name: "readmits", Value: float64(t.Readmits)})
 	emit(telemetry.Sample{Name: "soft_ops", Value: float64(t.SoftOps)})
+	emit(telemetry.Sample{Name: "admin_drains", Value: float64(t.AdminDrains)})
+	emit(telemetry.Sample{Name: "admin_admits", Value: float64(t.AdminAdmits)})
 	emit(telemetry.Sample{Name: "migrated_bytes", Value: float64(t.MigratedBytes)})
 	emit(telemetry.Sample{Name: "bytes_moved", Value: float64(t.BytesMoved)})
 	t.Degraded.Collect(func(s telemetry.Sample) {

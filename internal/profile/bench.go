@@ -24,6 +24,7 @@ import (
 	"repro/internal/rdma"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/workload"
 	"repro/internal/wrkgen"
 )
 
@@ -60,6 +61,14 @@ type BenchScenario struct {
 	// buffers). "peer" requires an inline placement (smartdimm or a
 	// fleet policy).
 	DataPath string `json:"datapath,omitempty"`
+	// Workload, when set ("kv" or "embed"), runs the scenario through
+	// the trace-replay workload suite (internal/workload) instead of the
+	// closed-loop generator: an open-loop arrival trace at RPS drives
+	// the named request mix over a Devices-rank fleet, chaos and
+	// autoscaler off. Placement names the fleet policy; Msg is ignored
+	// (the source's own payload mix governs).
+	Workload string  `json:"workload,omitempty"`
+	RPS      float64 `json:"rps,omitempty"` // open-loop offered rate (Workload only)
 }
 
 // Clock reads a wall-time instant in nanoseconds. The bench harness
@@ -111,6 +120,15 @@ func DefaultBenchScenarios() []BenchScenario {
 		// twin above.
 		{Name: "rdma-4rank", Placement: "rr", Devices: 4, ULP: "tls", DataPath: "peer",
 			Msg: 4096, Conns: 128, Workers: 10, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
+		// The production workload suite (internal/workload), open-loop
+		// at a fixed offered rate, autoscaler off: the KV-cache GET/SET
+		// mix and the embedding-gather mix over a 4-rank fleet. These pin
+		// the trace-replay path itself — arrival shaping, the workload
+		// sources, and the gather stage — not just the serving stack.
+		{Name: "kv-4rank", Placement: "rr", Devices: 4, Workload: "kv", RPS: 1.8e6,
+			Conns: 64, Workers: 16, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
+		{Name: "embed-4rank", Placement: "rr", Devices: 4, Workload: "embed", RPS: 5e5,
+			Conns: 64, Workers: 16, Seed: 1, WarmupPs: sim.Ms, MeasurePs: 4 * sim.Ms},
 	}
 }
 
@@ -136,7 +154,14 @@ func RunBenchScenarioClocked(sc BenchScenario, clock Clock) (BenchResult, error)
 		start = clock()
 	}
 	var retired float64 // simulated work units for the wall-rate KPI
-	if sc.Nodes > 0 {
+	if sc.Workload != "" {
+		kpis, err := runWorkloadBench(sc, params)
+		if err != nil {
+			return res, err
+		}
+		res.KPIs = kpis
+		retired = kpis["requests"]
+	} else if sc.Nodes > 0 {
 		kpis, err := runClusterWorkload(sc, params)
 		if err != nil {
 			return res, err
@@ -171,6 +196,41 @@ func RunBenchScenarioClocked(sc BenchScenario, clock Clock) (BenchResult, error)
 		}
 	}
 	return res, nil
+}
+
+// runWorkloadBench runs the scenario through the trace-replay workload
+// suite and extracts the serving KPIs plus the open-loop ones (issued
+// count and end-to-end p99 over the replayer's record). workload.Run
+// calibrates from DefaultParams; Params overrides don't apply here.
+func runWorkloadBench(sc BenchScenario, params sim.Params) (map[string]float64, error) {
+	pol, err := fleet.ParsePolicy(sc.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: workload runs need a fleet policy placement: %w", sc.Name, err)
+	}
+	rep, err := workload.Run(workload.RunConfig{
+		Kind: sc.Workload, Ranks: sc.Devices, Policy: pol,
+		Conns: sc.Conns, Workers: sc.Workers, Seed: sc.Seed,
+		HorizonPs: sc.WarmupPs + sc.MeasurePs, WarmupPs: sc.WarmupPs, DrainPs: sim.Ms,
+		KV:       workload.KVConfig{ZipfS: 0.99},
+		Arrivals: wrkgen.ArrivalConfig{Streams: 4, BaseRPS: sc.RPS},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	m := rep.Metrics
+	cyclesPerByte := 0.0
+	if m.TXBytes > 0 {
+		cyclesPerByte = float64(m.CPUBusyPs) * params.CPUClockGHz / 1000 / float64(m.TXBytes)
+	}
+	return map[string]float64{
+		"requests":        float64(m.Requests),
+		"rps":             m.RPS,
+		"mean_lat_ps":     float64(m.MeanLatPs),
+		"p99_lat_ps":      rep.P99Ps,
+		"cycles_per_byte": cyclesPerByte,
+		"mem_bw_gbps":     m.MemBWGBps,
+		"issued":          float64(rep.Issued),
+	}, nil
 }
 
 // runClusterWorkload runs the scenario on the replicated cluster tier

@@ -62,6 +62,45 @@ type Config struct {
 	Connections int
 	FileKind    corpus.Kind
 	Seed        int64
+	// Source, when non-nil, shapes each request (payload size, GET vs
+	// SET direction, embedding-gather width) — the workload suite's
+	// hook. Nil serves the legacy fixed-MsgSize GET stream. MsgSize must
+	// cover the largest Payload the source returns: it sizes the
+	// connection buffers and the page-cache working set.
+	Source WorkloadSource
+	// LatWindow, when non-nil, receives every request's end-to-end
+	// latency in picoseconds, warmup included — the rolling tail signal
+	// the autoscaler reads from the telemetry registry.
+	LatWindow *stats.Window
+}
+
+// RequestSpec describes one request's work, produced by a
+// WorkloadSource at submit time.
+type RequestSpec struct {
+	// Kind labels the request for accounting ("get", "set", "gather");
+	// it does not affect timing.
+	Kind string
+	// Payload is the value size in bytes (response body for GETs,
+	// request body for SETs); clamped to (0, Config.MsgSize].
+	Payload int
+	// Store marks a SET: the payload travels client->server (staged in
+	// over RDMA or the DDIO bounce), and the response is a short Ack.
+	Store bool
+	// Ack is the SET response size; 0 selects 64 bytes.
+	Ack int
+	// GatherBytes, when > 0, reads that many embedding-table bytes
+	// ahead of the ULP stage (the RecSys gather), attributed to the
+	// "gather" pipeline stage.
+	GatherBytes int
+}
+
+// WorkloadSource produces the next request's shape for a connection.
+// Calls happen in submission order under the single-threaded engine, so
+// a deterministic source yields a deterministic request stream; sources
+// should keep any randomness in per-connection state so the stream
+// survives reordering of unrelated connections.
+type WorkloadSource interface {
+	NextRequest(connID int) RequestSpec
 }
 
 // connState is the per-connection server state.
@@ -82,6 +121,10 @@ type connState struct {
 // connection's registered SmartDIMM buffer. The two are mutually
 // exclusive per run, which is what makes "bounce absent under peer-DMA"
 // checkable straight off the critical-path breakdown.
+// StageGather is the embedding-gather pass of the RecSys workload: the
+// request reads its embedding rows out of the table slab before the ULP
+// ships the pooled result — near-memory on inline (SmartDIMM)
+// placements, through the CPU cache hierarchy otherwise.
 const (
 	StageParse = iota
 	StageCopy
@@ -90,11 +133,12 @@ const (
 	StageWire
 	StageBounce
 	StageRDMA
+	StageGather
 	NumStages
 )
 
 // StageNames labels Metrics.StagePs entries, indexed by Stage*.
-var StageNames = [NumStages]string{"parse", "copy", "ulp", "tx", "wire", "bounce", "rdma"}
+var StageNames = [NumStages]string{"parse", "copy", "ulp", "tx", "wire", "bounce", "rdma", "gather"}
 
 // Metrics are the measured outcomes of a run.
 type Metrics struct {
@@ -168,6 +212,10 @@ type Server struct {
 	// for the LLC-pressure counter on the nic track.
 	bounceBytes uint64
 
+	// win mirrors cfg.LatWindow: the rolling latency record the
+	// autoscaler polls (fed outside the measurement gate on purpose).
+	win *stats.Window
+
 	// tracing (all nil/zero when cfg.Sys.Tracer is nil)
 	tr           *telemetry.Tracer
 	workerTracks []telemetry.TrackID
@@ -194,6 +242,7 @@ type pendingReq struct {
 	connID int
 	done   func()
 	at     int64
+	spec   RequestSpec
 	seq    uint64  // async-span id (only assigned when tracing)
 	ctx    *reqCtx // non-nil when re-entering a staged request
 }
@@ -213,6 +262,7 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg: cfg, eng: eng,
 		rng: rand.New(rand.NewSource(cfg.Seed + 99)),
+		win: cfg.LatWindow,
 	}
 	s.latency.SetBounded()
 	// Stacked so worker 0 pops first: the first dispatched stage lands
@@ -285,7 +335,18 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 
 // Submit implements wrkgen.Target.
 func (s *Server) Submit(connID int, done func()) {
-	req := pendingReq{connID: connID, done: done, at: s.eng.Now()}
+	spec := RequestSpec{Payload: s.cfg.MsgSize}
+	if s.cfg.Source != nil {
+		spec = s.cfg.Source.NextRequest(connID)
+		if spec.Payload <= 0 || spec.Payload > s.cfg.MsgSize {
+			spec.Payload = s.cfg.MsgSize
+		}
+		if s.cfg.Mode == PlainHTTP {
+			// Plain HTTP has no record framing to ingest a SET through.
+			spec.Store = false
+		}
+	}
+	req := pendingReq{connID: connID, done: done, at: s.eng.Now(), spec: spec}
 	if s.tr != nil {
 		s.reqSeq++
 		req.seq = s.reqSeq
@@ -348,30 +409,43 @@ func (s *Server) requeue(rc *reqCtx, ran int, stageCPU, stageDev int64, final bo
 // identical to the single-stage form; only the breakdown accounting and
 // span names differ.
 func (s *Server) requeueSplit(rc *reqCtx, cpuStage int, stageCPU int64, devStage int, stageDev int64, final bool) {
-	rc.cpu += stageCPU
-	rc.device += stageDev
-	dur := stageCPU + stageDev
-	if s.measuring {
-		if cpuStage == devStage {
-			s.stagePs[cpuStage] += dur
-		} else {
-			s.stagePs[cpuStage] += stageCPU
-			s.stagePs[devStage] += stageDev
-		}
+	if cpuStage == devStage {
+		s.requeueParts(rc, []stagePart{{stage: cpuStage, cpu: stageCPU, dev: stageDev}}, final)
+		return
 	}
-	if s.tr != nil && dur > 0 {
-		if cpuStage == devStage {
-			s.tr.Span(s.workerTracks[rc.worker], StageNames[cpuStage], s.eng.Now(), dur)
-		} else {
-			if stageCPU > 0 {
-				s.tr.Span(s.workerTracks[rc.worker], StageNames[cpuStage], s.eng.Now(), stageCPU)
-			}
-			if stageDev > 0 {
-				s.tr.Span(s.workerTracks[rc.worker], StageNames[devStage], s.eng.Now()+stageCPU, stageDev)
-			}
+	s.requeueParts(rc, []stagePart{
+		{stage: cpuStage, cpu: stageCPU},
+		{stage: devStage, dev: stageDev},
+	}, final)
+}
+
+// stagePart is one attributed slice of a worker occupancy window.
+type stagePart struct {
+	stage    int
+	cpu, dev int64
+}
+
+// requeueParts generalizes requeueSplit to any number of sequential
+// attribution slices on one worker hold — the embedding workload's
+// gather+ulp window is two parts back to back. Total occupancy is the
+// sum; each part books its duration to its own stage and emits its own
+// span, consecutively from now.
+func (s *Server) requeueParts(rc *reqCtx, parts []stagePart, final bool) {
+	now := s.eng.Now()
+	var dur int64
+	for _, pt := range parts {
+		rc.cpu += pt.cpu
+		rc.device += pt.dev
+		d := pt.cpu + pt.dev
+		if s.measuring {
+			s.stagePs[pt.stage] += d
 		}
+		if s.tr != nil && d > 0 {
+			s.tr.Span(s.workerTracks[rc.worker], StageNames[pt.stage], now+dur, d)
+		}
+		dur += d
 	}
-	s.eng.At(s.eng.Now()+dur, func() {
+	s.eng.At(now+dur, func() {
 		s.freeWorkers = append(s.freeWorkers, rc.worker)
 		if !final {
 			rc.stage++
@@ -418,12 +492,48 @@ func (s *Server) runStage(rc *reqCtx) {
 	coreID := workerCore(rc.req.connID)
 	inline := s.cfg.Mode != PlainHTTP && s.cfg.Backend.InlineSource()
 
+	spec := rc.req.spec
+	payload := c.payload
+	if spec.Payload < len(payload) {
+		payload = payload[:spec.Payload]
+	}
+
 	switch rc.stage {
-	case 0: // parse + file fetch
+	case 0: // parse + payload fetch (file for GETs, request body for SETs)
 		cpu := p.HTTPParseNs * sim.Ns
 		var device int64
 		devStage := StageParse
-		if s.rng.Float64() >= p.PageCacheHitRate {
+		if spec.Store {
+			// SET ingest: the value arrives with the request and is
+			// staged into the connection's buffers — over one-sided RDMA
+			// on the peer path, through the DDIO bounce on the host path
+			// (priced as the NIC's RX DMA window, no storage read).
+			if s.ing != nil {
+				d, err := s.ing.Ingest(c.oconn, payload)
+				if err != nil {
+					s.failReq(rc, err)
+					return
+				}
+				device = d
+				devStage = StageRDMA
+			} else {
+				if inline {
+					if err := offload.StagePayloadDMA(s.cfg.Sys, c.oconn, payload); err != nil {
+						s.failReq(rc, err)
+						return
+					}
+				} else if err := s.cfg.Sys.DMAIn(c.filePage, payload); err != nil {
+					s.failReq(rc, err)
+					return
+				}
+				device = p.LinkSerializationPs(len(payload))
+				devStage = StageBounce
+				if s.tr != nil {
+					s.bounceBytes += uint64(len(payload))
+					s.tr.Counter(s.nicTrack, "ddio_bounce_bytes", s.eng.Now(), float64(s.bounceBytes))
+				}
+			}
+		} else if s.rng.Float64() >= p.PageCacheHitRate {
 			if s.ing != nil {
 				// Peer-DMA refill: the record is re-fetched from the
 				// remote origin as one-sided RDMA WRITEs landing in the
@@ -431,7 +541,7 @@ func (s *Server) runStage(rc *reqCtx) {
 				// host-DRAM bounce, no DDIO occupancy. The NIC charges
 				// doorbells, wire serialization and the owning rank's
 				// write timing.
-				d, err := s.ing.Ingest(c.oconn, c.payload)
+				d, err := s.ing.Ingest(c.oconn, payload)
 				if err != nil {
 					s.failReq(rc, err)
 					return
@@ -441,19 +551,19 @@ func (s *Server) runStage(rc *reqCtx) {
 			} else {
 				// Host-mediated refill: storage read plus the DDIO
 				// bounce through host DRAM / the LLC's DMA ways.
-				device = int64(p.StorageReadUsPer4KB * float64(sim.Us) * float64((s.cfg.MsgSize+4095)/4096))
+				device = int64(p.StorageReadUsPer4KB * float64(sim.Us) * float64((spec.Payload+4095)/4096))
 				if inline {
-					if err := offload.StagePayloadDMA(s.cfg.Sys, c.oconn, c.payload); err != nil {
+					if err := offload.StagePayloadDMA(s.cfg.Sys, c.oconn, payload); err != nil {
 						s.failReq(rc, err)
 						return
 					}
-				} else if err := s.cfg.Sys.DMAIn(c.filePage, c.payload); err != nil {
+				} else if err := s.cfg.Sys.DMAIn(c.filePage, payload); err != nil {
 					s.failReq(rc, err)
 					return
 				}
 				devStage = StageBounce
 				if s.tr != nil {
-					s.bounceBytes += uint64(len(c.payload))
+					s.bounceBytes += uint64(len(payload))
 					s.tr.Counter(s.nicTrack, "ddio_bounce_bytes", s.eng.Now(), float64(s.bounceBytes))
 				}
 			}
@@ -466,12 +576,12 @@ func (s *Server) runStage(rc *reqCtx) {
 	case 1: // app copy out of the page cache (skipped for inline)
 		var cpu int64
 		if !inline {
-			_, rdLat, err := s.cfg.Sys.ReadBytes(coreID, c.filePage, s.cfg.MsgSize)
+			_, rdLat, err := s.cfg.Sys.ReadBytes(coreID, c.filePage, spec.Payload)
 			if err != nil {
 				s.failReq(rc, err)
 				return
 			}
-			stageLat, err := offload.StagePayloadCPU(s.cfg.Sys, coreID, c.oconn, c.payload)
+			stageLat, err := offload.StagePayloadCPU(s.cfg.Sys, coreID, c.oconn, payload)
 			if err != nil {
 				s.failReq(rc, err)
 				return
@@ -480,13 +590,22 @@ func (s *Server) runStage(rc *reqCtx) {
 		}
 		s.requeue(rc, StageCopy, cpu, 0, false)
 
-	case 2: // ULP processing (PlainHTTP jumps straight to stage 2 as TX)
+	case 2: // (embedding gather +) ULP processing
 		if s.cfg.Mode == PlainHTTP {
-			s.transmit(rc, c.filePage, s.cfg.MsgSize,
-				[]offload.Span{{Off: 0, Len: s.cfg.MsgSize}})
+			s.transmit(rc, c.filePage, spec.Payload,
+				[]offload.Span{{Off: 0, Len: spec.Payload}})
 			return
 		}
-		res, err := s.cfg.Backend.Process(s.cfg.Mode.ulp(), coreID, c.oconn, s.cfg.MsgSize)
+		var parts []stagePart
+		if spec.GatherBytes > 0 {
+			gcpu, gdev, err := s.gather(rc, spec.GatherBytes, coreID, inline)
+			if err != nil {
+				s.failReq(rc, err)
+				return
+			}
+			parts = append(parts, stagePart{stage: StageGather, cpu: gcpu, dev: gdev})
+		}
+		res, err := s.cfg.Backend.Process(s.cfg.Mode.ulp(), coreID, c.oconn, spec.Payload)
 		if err != nil {
 			s.failReq(rc, err)
 			return
@@ -494,11 +613,58 @@ func (s *Server) runStage(rc *reqCtx) {
 		rc.spans = res.DstSpans
 		rc.txBytes = res.TXBytes
 		rc.flushDst = res.DstFlushNeeded
-		s.requeue(rc, StageULP, res.CPUPs, res.DevicePs, false)
+		if spec.Store {
+			// SETs answer with a short ack; the processed value stays
+			// resident (the ULP cost above is the record decrypt/verify).
+			ack := spec.Ack
+			if ack <= 0 {
+				ack = 64
+			}
+			if ack > spec.Payload {
+				ack = spec.Payload
+			}
+			rc.txBytes = ack
+			rc.spans = []offload.Span{{Off: 0, Len: ack}}
+			rc.flushDst = false
+		}
+		parts = append(parts, stagePart{stage: StageULP, cpu: res.CPUPs, dev: res.DevicePs})
+		s.requeueParts(rc, parts, false)
 
 	case 3: // transmission
 		s.transmit(rc, c.oconn.Dst, rc.txBytes, rc.spans)
 	}
+}
+
+// gather reads n bytes of embedding rows out of the connection's table
+// slab ahead of the ULP stage. On inline placements the home rank reads
+// its own DRAM (device time, no host cache traffic) — the AxDIMM
+// near-memory gather; otherwise the CPU pulls the rows through the
+// cache hierarchy (CPU time). Gathers wider than the staged region wrap
+// around it chunk by chunk.
+func (s *Server) gather(rc *reqCtx, n, coreID int, inline bool) (cpu, dev int64, err error) {
+	c := rc.conn
+	chunk := s.cfg.MsgSize
+	for n > 0 {
+		step := n
+		if step > chunk {
+			step = chunk
+		}
+		if inline {
+			_, lat, e := s.cfg.Sys.DMAOut(c.oconn.Src, step)
+			if e != nil {
+				return 0, 0, e
+			}
+			dev += lat
+		} else {
+			_, lat, e := s.cfg.Sys.ReadBytes(coreID, c.filePage, step)
+			if e != nil {
+				return 0, 0, e
+			}
+			cpu += lat
+		}
+		n -= step
+	}
+	return cpu, dev, nil
 }
 
 // transmit performs the TX stage: NIC DMA, per-packet kernel costs, and
@@ -543,6 +709,9 @@ func (s *Server) transmit(rc *reqCtx, base uint64, txBytes int, spans []offload.
 	wireDone := s.linkBusyPs + dmaLat
 
 	rc.cpu += cpu
+	if s.win != nil {
+		s.win.Observe(float64(wireDone - rc.req.at))
+	}
 	if s.measuring {
 		s.cpuBusyPs += rc.cpu
 		s.deviceBusyPs += rc.device

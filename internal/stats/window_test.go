@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestWindowRollEvictsOldEpochs(t *testing.T) {
+	w := NewWindow(3)
+	for i := 0; i < 100; i++ {
+		w.Observe(1000) // epoch A: high
+	}
+	if got := w.Percentile(99); math.Abs(got-1000)/1000 > 0.1 {
+		t.Fatalf("p99 before roll = %g, want ~1000", got)
+	}
+	w.Roll()
+	for i := 0; i < 100; i++ {
+		w.Observe(10)
+	}
+	// Window still spans both epochs: p99 dominated by the old highs.
+	if got := w.Percentile(99); got < 500 {
+		t.Fatalf("p99 with high epoch live = %g, want > 500", got)
+	}
+	// Two more rolls push epoch A out of the window entirely.
+	w.Roll()
+	for i := 0; i < 100; i++ {
+		w.Observe(10)
+	}
+	w.Roll()
+	for i := 0; i < 100; i++ {
+		w.Observe(10)
+	}
+	if got := w.Percentile(99); got > 50 {
+		t.Fatalf("p99 after eviction = %g, want ~10", got)
+	}
+	if n := w.Count(); n != 300 {
+		t.Fatalf("count = %d, want 300 (3 live epochs x 100)", n)
+	}
+}
+
+func TestWindowEmptyAndCollect(t *testing.T) {
+	w := NewWindow(2)
+	if w.Count() != 0 || w.Percentile(99) != 0 || w.Mean() != 0 {
+		t.Fatalf("empty window should report zeros")
+	}
+	w.Observe(4)
+	w.Observe(8)
+	got := map[string]float64{}
+	w.Collect(func(s telemetry.Sample) { got[s.Name] = s.Value })
+	if got["count"] != 2 {
+		t.Fatalf("collect count = %g, want 2", got["count"])
+	}
+	if got["mean"] != 6 {
+		t.Fatalf("collect mean = %g, want 6", got["mean"])
+	}
+	if got["max"] != 8 {
+		t.Fatalf("collect max = %g, want 8", got["max"])
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/server"
+)
+
+// EmbedConfig shapes the RecSys embedding-gather workload: each request
+// is one inference batch's sparse-feature fetch — Lookups rows gathered
+// from each of Tables embedding tables and sum-pooled to one Dim-float
+// vector per table. The gather reads Tables*Lookups*Dim*4 bytes out of
+// near-memory (the dominant memory-bound phase of DLRM-class models);
+// only the pooled Tables*Dim*4 bytes continue into the ULP and onto the
+// wire.
+type EmbedConfig struct {
+	// Tables is the embedding-table count. Zero selects 8.
+	Tables int
+	// Lookups is the rows gathered per table (the pooling factor). Zero
+	// selects 32.
+	Lookups int
+	// Dim is the embedding dimension (floats per row). Zero selects 64.
+	Dim int
+	// Rows is each table's row count, for the popularity draw. Zero
+	// selects 1 << 16.
+	Rows int
+	// ZipfS is the row-popularity skew. Zero means uniform; trace studies
+	// put embedding access skew near 1.05.
+	ZipfS float64
+	Seed  int64
+}
+
+func (c *EmbedConfig) defaults() error {
+	if c.Tables <= 0 {
+		c.Tables = 8
+	}
+	if c.Lookups <= 0 {
+		c.Lookups = 32
+	}
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Rows <= 0 {
+		c.Rows = 1 << 16
+	}
+	if c.ZipfS < 0 {
+		return fmt.Errorf("workload: negative embed skew %g", c.ZipfS)
+	}
+	return nil
+}
+
+// Embed is the embedding-gather request source; it implements
+// server.WorkloadSource.
+type Embed struct {
+	cfg  EmbedConfig
+	zipf *Zipf
+	rngs map[int]*rand.Rand
+
+	// Gathers counts requests; RowsRead the embedding rows they touched;
+	// HotRows those drawn from the top 1% of the popularity ranking (a
+	// cache-friendliness proxy the report surfaces).
+	Gathers  uint64
+	RowsRead uint64
+	HotRows  uint64
+}
+
+// NewEmbed validates the config and builds the row-popularity sampler.
+func NewEmbed(cfg EmbedConfig) (*Embed, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	z, err := NewZipf(cfg.Rows, cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	return &Embed{cfg: cfg, zipf: z, rngs: make(map[int]*rand.Rand)}, nil
+}
+
+func (e *Embed) rng(connID int) *rand.Rand {
+	r, ok := e.rngs[connID]
+	if !ok {
+		r = rand.New(rand.NewSource(e.cfg.Seed + int64(connID)*0x9E3779B9 + 2))
+		e.rngs[connID] = r
+	}
+	return r
+}
+
+// NextRequest implements server.WorkloadSource: the row draws consume
+// the connection's RNG (so popularity shapes future cache modeling),
+// and the spec carries the gather width and the pooled payload.
+func (e *Embed) NextRequest(connID int) server.RequestSpec {
+	r := e.rng(connID)
+	hotCut := e.cfg.Rows / 100
+	for t := 0; t < e.cfg.Tables; t++ {
+		for l := 0; l < e.cfg.Lookups; l++ {
+			if row := e.zipf.Sample(r.Float64()); row < hotCut {
+				e.HotRows++
+			}
+			e.RowsRead++
+		}
+	}
+	e.Gathers++
+	return server.RequestSpec{
+		Kind:        "gather",
+		Payload:     e.MaxPayload(),
+		GatherBytes: e.cfg.Tables * e.cfg.Lookups * e.cfg.Dim * 4,
+	}
+}
+
+// MaxPayload is the pooled response size: one Dim-float vector per table.
+func (e *Embed) MaxPayload() int { return e.cfg.Tables * e.cfg.Dim * 4 }

@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/autoscale"
+	"repro/internal/corpus"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+	"repro/internal/runner"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/wrkgen"
+)
+
+// Fault schedules one fleet event into a run: a forced rank failure
+// (breaker trip + drain), or a readmission when Restore is set.
+type Fault struct {
+	AtPs    int64
+	Rank    int
+	Restore bool
+}
+
+// RunConfig assembles one end-to-end workload run: a multi-rank
+// SmartDIMM fleet serving a KV-cache or embedding-gather request mix
+// under open-loop trace-replay traffic, optionally supervised by the
+// SLO autoscaler.
+type RunConfig struct {
+	// Kind selects the request source: "kv" or "embed".
+	Kind string
+	// Ranks is the fleet size. Zero selects 4.
+	Ranks int
+	// InitialActive caps how many ranks start admitted (the rest are
+	// administratively parked for the autoscaler to deploy). Zero means
+	// all ranks start active.
+	InitialActive int
+	// Policy is the starting placement policy.
+	Policy fleet.Policy
+	// Conns/Workers mirror the server knobs. Zero selects 64/10.
+	Conns, Workers int
+	Seed           int64
+
+	// Arrivals shapes the open-loop trace. Connections, Seed, and
+	// HorizonPs are filled from the run when zero.
+	Arrivals  wrkgen.ArrivalConfig
+	HorizonPs int64 // trace horizon; zero selects 10ms
+	WarmupPs  int64 // measurement gate; zero selects 1ms
+	DrainPs   int64 // post-horizon settle window; zero selects 2ms
+
+	KV    KVConfig
+	Embed EmbedConfig
+
+	// Scale, when non-nil, runs the autoscaler over the fleet: Run fills
+	// Eng/Reg/Fl/Window, and installs a default FlipPolicy (switch to
+	// LeastLoaded) when none is set.
+	Scale *autoscale.Config
+
+	// Faults are injected fleet events (flash-crowd chaos).
+	Faults []Fault
+
+	// Pool parallelizes trace generation (nil = serial); the trace — and
+	// therefore the whole run — is byte-identical either way.
+	Pool *runner.Pool
+	// TracePlacement enables the fleet placement trace in the report.
+	TracePlacement bool
+}
+
+func (c *RunConfig) defaults() error {
+	if c.Kind != "kv" && c.Kind != "embed" {
+		return fmt.Errorf("workload: unknown kind %q (want kv or embed)", c.Kind)
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 4
+	}
+	if c.InitialActive <= 0 || c.InitialActive > c.Ranks {
+		c.InitialActive = c.Ranks
+	}
+	if c.Conns <= 0 {
+		c.Conns = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 10
+	}
+	if c.HorizonPs <= 0 {
+		c.HorizonPs = 10 * sim.Ms
+	}
+	if c.WarmupPs <= 0 {
+		c.WarmupPs = sim.Ms
+	}
+	if c.DrainPs <= 0 {
+		c.DrainPs = 2 * sim.Ms
+	}
+	return nil
+}
+
+// Report is one run's outcome; Canonical renders the byte-compared
+// determinism artifact.
+type Report struct {
+	Kind    string
+	Metrics server.Metrics
+	// Issued/Completed/PeakInFlight are the open-loop replayer's view.
+	Issued, Completed uint64
+	PeakInFlight      int
+	// P50/P99 come from the replayer's end-to-end record over the
+	// measured window.
+	P50Ps, P99Ps float64
+	// Fleet state at the end of the run.
+	Fleet       fleet.Totals
+	FinalActive int
+	PagesOK     bool
+	// Workload-mix counters (whichever source ran).
+	Gets, Sets, Gathers uint64
+	// Autoscaler outcome (zero-valued without Scale).
+	SLOHeldFrac    float64
+	Actions        string // autoscale.Controller.TraceString
+	ActiveTimeline []int
+	P99Timeline    []float64 // observed tail per control tick
+	Placement      string    // fleet placement trace (TracePlacement only)
+}
+
+// Collect implements telemetry.Collector.
+func (r Report) Collect(emit func(telemetry.Sample)) {
+	emit(telemetry.Sample{Name: "issued", Value: float64(r.Issued)})
+	emit(telemetry.Sample{Name: "completed", Value: float64(r.Completed)})
+	emit(telemetry.Sample{Name: "peak_inflight", Value: float64(r.PeakInFlight)})
+	emit(telemetry.Sample{Name: "p50_lat_ps", Value: r.P50Ps})
+	emit(telemetry.Sample{Name: "p99_lat_ps", Value: r.P99Ps})
+	emit(telemetry.Sample{Name: "gets", Value: float64(r.Gets)})
+	emit(telemetry.Sample{Name: "sets", Value: float64(r.Sets)})
+	emit(telemetry.Sample{Name: "gathers", Value: float64(r.Gathers)})
+	emit(telemetry.Sample{Name: "slo_held_frac", Value: r.SLOHeldFrac})
+	emit(telemetry.Sample{Name: "final_active", Value: float64(r.FinalActive)})
+}
+
+// Canonical renders every deterministic observable — counts, latency
+// percentiles, fleet totals, the action log, the active-rank timeline —
+// into one string for byte comparison across worker counts.
+func (r Report) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kind %s\n", r.Kind)
+	fmt.Fprintf(&b, "issued %d completed %d peak %d\n", r.Issued, r.Completed, r.PeakInFlight)
+	fmt.Fprintf(&b, "requests %d tx %d errors %d\n", r.Metrics.Requests, r.Metrics.TXBytes, r.Metrics.Errors)
+	fmt.Fprintf(&b, "lat p50 %g p99 %g mean %d\n", r.P50Ps, r.P99Ps, r.Metrics.MeanLatPs)
+	fmt.Fprintf(&b, "mix gets %d sets %d gathers %d\n", r.Gets, r.Sets, r.Gathers)
+	fmt.Fprintf(&b, "fleet active %d trips %d migr %d sheds %d soft %d admdrain %d admadmit %d\n",
+		r.FinalActive, r.Fleet.Trips, r.Fleet.Migrations, r.Fleet.Sheds, r.Fleet.SoftOps,
+		r.Fleet.AdminDrains, r.Fleet.AdminAdmits)
+	fmt.Fprintf(&b, "pages_ok %v\n", r.PagesOK)
+	fmt.Fprintf(&b, "slo_held %g\n", r.SLOHeldFrac)
+	fmt.Fprintf(&b, "active_timeline %v\n", r.ActiveTimeline)
+	b.WriteString("--- actions ---\n")
+	b.WriteString(r.Actions)
+	if r.Placement != "" {
+		b.WriteString("--- placement ---\n")
+		b.WriteString(r.Placement)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Run executes one workload scenario end to end and reports.
+func Run(cfg RunConfig) (Report, error) {
+	if err := cfg.defaults(); err != nil {
+		return Report{}, err
+	}
+	params := sim.DefaultParams()
+	sys, err := sim.NewSystem(sim.SystemConfig{
+		Params: params, LLCBytes: 2 << 20, LLCWays: 8,
+		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
+		WithSmartDIMM:  true,
+		SmartDIMMRanks: cfg.Ranks,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	fl, err := fleet.New(fleet.Config{Sys: sys, Policy: cfg.Policy, TracePlacement: cfg.TracePlacement})
+	if err != nil {
+		return Report{}, err
+	}
+	// Park the tail ranks before any connection exists: placements avoid
+	// them from the start, and only the autoscaler can deploy them.
+	for i := cfg.InitialActive; i < cfg.Ranks; i++ {
+		if err := fl.Drain(i); err != nil {
+			return Report{}, err
+		}
+	}
+
+	var (
+		src server.WorkloadSource
+		kv  *KV
+		em  *Embed
+		msg int
+	)
+	switch cfg.Kind {
+	case "kv":
+		c := cfg.KV
+		c.Seed = cfg.Seed
+		if kv, err = NewKV(c); err != nil {
+			return Report{}, err
+		}
+		src, msg = kv, kv.MaxPayload()
+	case "embed":
+		c := cfg.Embed
+		c.Seed = cfg.Seed
+		if em, err = NewEmbed(c); err != nil {
+			return Report{}, err
+		}
+		src, msg = em, em.MaxPayload()
+	}
+
+	win := stats.NewWindow(4)
+	srv, err := server.New(sys.Engine, server.Config{
+		Sys: sys, Backend: fl, Mode: server.HTTPSMode, Workers: cfg.Workers,
+		MsgSize: msg, Connections: cfg.Conns, FileKind: corpus.Text, Seed: cfg.Seed,
+		Source: src, LatWindow: win,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	reg := telemetry.NewRegistry()
+	fl.RegisterMetrics(reg)
+	reg.Register("server.window", win)
+
+	arr := cfg.Arrivals
+	if arr.Connections <= 0 {
+		arr.Connections = cfg.Conns
+	}
+	if arr.Seed == 0 {
+		arr.Seed = cfg.Seed
+	}
+	if arr.HorizonPs <= 0 {
+		arr.HorizonPs = cfg.HorizonPs
+	}
+	trace, err := wrkgen.GenArrivalsPooled(arr, cfg.Pool)
+	if err != nil {
+		return Report{}, err
+	}
+	// The server feeds the window itself (LatWindow): pass nil here or
+	// every completion would be observed twice.
+	gen := wrkgen.NewOpenLoop(sys.Engine, srv, trace, nil)
+
+	var ctl *autoscale.Controller
+	if cfg.Scale != nil {
+		sc := *cfg.Scale
+		sc.Eng, sc.Reg, sc.Fl, sc.Window = sys.Engine, reg, fl, win
+		if sc.FlipPolicy == nil {
+			sc.FlipPolicy = func() { fl.SetPolicy(fleet.LeastLoaded) }
+		}
+		if ctl, err = autoscale.New(sc); err != nil {
+			return Report{}, err
+		}
+		ctl.Start()
+	}
+
+	for _, f := range cfg.Faults {
+		f := f
+		sys.Engine.At(f.AtPs, func() {
+			if f.Restore {
+				_ = fl.Admit(f.Rank)
+			} else {
+				_ = fl.Fail(f.Rank)
+			}
+		})
+	}
+
+	gen.Start()
+	sys.Engine.RunUntil(cfg.WarmupPs)
+	srv.BeginMeasurement()
+	gen.BeginMeasurement()
+	sys.Engine.RunUntil(arr.HorizonPs + cfg.DrainPs)
+
+	m := srv.Collect()
+	if err := srv.LastError(); err != nil {
+		return Report{}, fmt.Errorf("workload %s: %w", cfg.Kind, err)
+	}
+	rep := Report{
+		Kind: cfg.Kind, Metrics: m,
+		Issued: gen.Issued, Completed: gen.Completed, PeakInFlight: gen.PeakIn,
+		P50Ps: gen.Latency.Percentile(50), P99Ps: gen.Latency.Percentile(99),
+		Fleet:       fl.Totals(),
+		FinalActive: fl.ActiveMembers(),
+		PagesOK:     fl.OutstandingPages() == fl.ExpectedPages(),
+	}
+	if kv != nil {
+		rep.Gets, rep.Sets = kv.Gets, kv.Sets
+	}
+	if em != nil {
+		rep.Gathers = em.Gathers
+	}
+	if ctl != nil {
+		rep.SLOHeldFrac = ctl.SLOHeldFrac()
+		rep.Actions = ctl.TraceString()
+		rep.ActiveTimeline = ctl.Active
+		rep.P99Timeline = ctl.P99Ps
+	}
+	if cfg.TracePlacement {
+		rep.Placement = fl.TraceString()
+	}
+	return rep, nil
+}
