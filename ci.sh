@@ -65,10 +65,19 @@
 #                     includes the pinned kv-4rank/embed-4rank
 #                     scenarios)
 #
+#  14. obs gate   — the observability plane: the series store / alert
+#                     engine / flight recorder unit tests under -race,
+#                     and the incident soak — the hardened flash-crowd +
+#                     rank-fault scenario with alerting and recording
+#                     armed — whose run canonical AND every incident
+#                     bundle must replay byte-identically serial vs
+#                     pooled vs GOMAXPROCS=2
+#
 # `./ci.sh bench` runs only the KPI bench stage — the quick loop while
 # tuning performance. `./ci.sh shard` runs only the shard gate.
 # `./ci.sh cluster` runs only the cluster gate. `./ci.sh rdma` runs
 # only the rdma gate. `./ci.sh workload` runs only the workload gate.
+# `./ci.sh obs` runs only the obs gate.
 set -eu
 cd "$(dirname "$0")"
 
@@ -130,6 +139,13 @@ run_workload() {
 	run_bench
 }
 
+run_obs_tests() {
+	echo "== obs gate: series store, alert engine, flight recorder (under -race)"
+	go test -race ./internal/obs/
+	echo "== obs gate: incident soak + bundle byte-identity (serial vs pooled vs GOMAXPROCS=2)"
+	go test -run 'TestIncidentSoak' ./internal/chaos/
+}
+
 if [ "${1:-}" = "bench" ]; then
 	run_bench
 	exit 0
@@ -150,6 +166,10 @@ if [ "${1:-}" = "workload" ]; then
 	run_workload
 	exit 0
 fi
+if [ "${1:-}" = "obs" ]; then
+	run_obs_tests
+	exit 0
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -160,9 +180,16 @@ go build ./...
 echo "== go test -short ./internal/chaos/"
 go test -short ./internal/chaos/
 
-echo "== wall-clock gate (no time.Now() in internal/)"
+echo "== wall-clock gate (no time.Now() in internal/ or cmd/)"
+# internal/ is absolute: simulator code must use simulated picoseconds.
+# cmd/ may measure host wall-clock only where annotated `wallclock:ok`
+# (the shard-scaling figure, the bench's injected clock).
 if grep -rn "time\.Now()" internal/ --include="*.go"; then
 	echo "ci.sh: time.Now() found in internal/ — simulator code must use simulated time" >&2
+	exit 1
+fi
+if grep -rn "time\.Now()" cmd/ --include="*.go" | grep -v "wallclock:ok"; then
+	echo "ci.sh: unannotated time.Now() in cmd/ — annotate intentional host-clock reads with wallclock:ok" >&2
 	exit 1
 fi
 
@@ -183,6 +210,8 @@ run_cluster_tests
 run_rdma_tests
 
 run_workload_tests
+
+run_obs_tests
 
 run_bench
 

@@ -12,6 +12,7 @@
 //	figures -fig failover # cluster availability across a node kill (not in "all")
 //	figures -fig rdma     # zero-copy peer-DMA vs host-mediated data path (not in "all")
 //	figures -fig autoscale # SLO autoscaler vs flash crowd + rank fault (not in "all")
+//	figures -fig incident # alerting + flight-recorder incident narrative (not in "all")
 //	figures -table 1      # Table I
 //	figures -power        # §VII-D power/area model
 //	figures -scale paper  # testbed-scale workloads (slower)
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,shard,failover,breakdown,critpath,rdma,autoscale); empty = all (non-paper figures excluded)")
+	fig := flag.String("fig", "", "figure to regenerate (2,2b,3,9,10,11,12,13,scale,shard,failover,breakdown,critpath,rdma,autoscale,incident); empty = all (non-paper figures excluded)")
 	table := flag.Int("table", 0, "table number to regenerate (1); 0 = all")
 	pow := flag.Bool("power", false, "print the §VII-D power/area model")
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
@@ -87,6 +88,9 @@ func main() {
 	}
 	if *fig == "autoscale" {
 		figAutoscale()
+	}
+	if *fig == "incident" {
+		figIncident()
 	}
 	if run(3) {
 		fig3(pool, sc)
@@ -152,6 +156,26 @@ func figAutoscale() {
 		fail(err)
 	}
 	if err := res.WriteAutoscaleTimeline(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Println()
+}
+
+// figIncident replays the hardened flash-crowd + rank-fault scenario
+// with the alerting plane and flight recorder armed and prints the
+// incident narrative: the tick timeline with alert transitions marked,
+// the deterministic alert log, and each frozen bundle's correlated
+// timeline (observability extension; not a paper figure).
+func figIncident() {
+	fmt.Println("=== Incident narrative: burn-rate page, breaker alert, flight-recorder bundles ===")
+	fmt.Println("model: the -fig autoscale scenario with the crowd at 3.0x (past the two initial")
+	fmt.Println("       ranks' collapse point) and a 100us scraper running the default alert rules;")
+	fmt.Println("       each firing freezes a 2ms-lookback bundle: correlated timeline + trace slice")
+	res, err := experiments.Incident(7)
+	if err != nil {
+		fail(err)
+	}
+	if err := res.WriteIncidentReport(os.Stdout); err != nil {
 		fail(err)
 	}
 	fmt.Println()
@@ -224,7 +248,7 @@ func figShard() {
 			if err != nil {
 				fail(err)
 			}
-			start := time.Now()
+			start := time.Now() // wallclock:ok — measures host wall-clock scaling, not simulated time
 			m, err := cl.Run(sim.Ms, 4*sim.Ms)
 			if err != nil {
 				fail(err)

@@ -29,6 +29,7 @@
 //	smartdimm-sim -placement rr -devices 4 -datapath peer -msg 16384
 //	smartdimm-sim -workload kv -devices 4 -rps 1800000 -conns 64
 //	smartdimm-sim -workload embed -devices 4 -rps 500000 -slo-us 100
+//	smartdimm-sim -workload kv -devices 4 -rps 2500000 -slo-us 100 -scrape-us 100 -alerts -incident-dir out/
 //
 // Workload suite: -workload kv|embed replaces the closed-loop generator
 // with the trace-replay workload suite (internal/workload) — an
@@ -36,6 +37,15 @@
 // the embedding-gather mix over a -devices-rank fleet; -msg is ignored
 // (the source's payload mix governs). -slo-us additionally runs the SLO
 // autoscaler over the fleet and reports its action log.
+//
+// Observability (workload runs only): -scrape-us sets the simulated-time
+// scrape interval of the metrics plane; -alerts evaluates the default
+// alert rules (a multi-window burn-rate page on the -slo-us objective,
+// a breaker-trip threshold) and prints the deterministic alert log;
+// -incident-dir arms the flight recorder — every alert firing freezes a
+// bundle written as incident-<i>-<rule>/report.txt (correlated timeline
+// + series summary) and trace.json (the Perfetto slice of the lookback
+// window around the firing).
 //
 // Data path: -datapath host (default) refills page-cache misses by
 // storage DMA bounced through host DRAM; -datapath peer installs the
@@ -49,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -88,6 +99,9 @@ type cliConfig struct {
 	workload    string
 	rps         float64
 	sloUs       float64
+	scrapeUs    int64
+	alerts      bool
+	incidentDir string
 }
 
 func main() {
@@ -114,6 +128,9 @@ func main() {
 	workloadName := flag.String("workload", "", "trace-replay workload suite: kv (cache GET/SET mix) | embed (embedding gathers); empty = closed-loop generator")
 	rps := flag.Float64("rps", 1e6, "with -workload: open-loop offered rate (requests/s)")
 	sloUs := flag.Float64("slo-us", 0, "with -workload: run the SLO autoscaler with this p99 latency objective (us); 0 = no autoscaler")
+	scrapeUs := flag.Int64("scrape-us", 0, "with -workload: observability scrape interval (us); 0 = one scrape per control tick")
+	alerts := flag.Bool("alerts", false, "with -workload: evaluate the default alert rules (burn-rate page on the -slo-us objective, breaker-trip) and print the alert log")
+	incidentDir := flag.String("incident-dir", "", "with -workload: arm the flight recorder and write each incident bundle (report.txt + trace.json) under this directory")
 	flag.Parse()
 
 	kind, err := parseKind(*kindName)
@@ -140,6 +157,7 @@ func main() {
 		warmupMs: *warmupMs, measureMs: *measureMs, seed: *seed,
 		tracePath: *tracePath, metrics: *metrics, profile: *prof,
 		workload: strings.ToLower(*workloadName), rps: *rps, sloUs: *sloUs,
+		scrapeUs: *scrapeUs, alerts: *alerts, incidentDir: *incidentDir,
 	}
 
 	type point struct{ msg, conns int }
@@ -151,6 +169,9 @@ func main() {
 	}
 	if cfg.tracePath != "" && len(sweep) > 1 {
 		fatal(fmt.Errorf("-trace: sweep has %d points; tracing needs a single msg/conns point", len(sweep)))
+	}
+	if cfg.incidentDir != "" && len(sweep) > 1 {
+		fatal(fmt.Errorf("-incident-dir: sweep has %d points; incident capture needs a single msg/conns point", len(sweep)))
 	}
 	var pool *runner.Pool
 	if *par != 1 && len(sweep) > 1 {
@@ -181,6 +202,9 @@ func runOne(cfg cliConfig, msg, conns int) (string, error) {
 			return "", fmt.Errorf("-workload: not combinable with -shards, -datapath peer, -trace, or -profile")
 		}
 		return runWorkload(cfg, conns)
+	}
+	if cfg.scrapeUs > 0 || cfg.alerts || cfg.incidentDir != "" {
+		return "", fmt.Errorf("-scrape-us/-alerts/-incident-dir: observability plane runs need -workload")
 	}
 	if cfg.shards > 0 {
 		if cfg.datapath == "peer" {
@@ -421,6 +445,19 @@ func runWorkload(cfg cliConfig, conns int) (string, error) {
 	if cfg.sloUs > 0 {
 		rc.Scale = &autoscale.Config{SLOPs: cfg.sloUs * float64(sim.Us)}
 	}
+	if cfg.scrapeUs > 0 {
+		rc.ScrapePs = cfg.scrapeUs * sim.Us
+	}
+	if cfg.alerts || cfg.incidentDir != "" {
+		// The burn-rate page targets the autoscaler's objective when one
+		// is set, the 100us default otherwise.
+		slo := cfg.sloUs
+		if slo <= 0 {
+			slo = 100
+		}
+		rc.Rules = workload.DefaultAlertRules(slo * float64(sim.Us))
+	}
+	rc.Record = cfg.incidentDir != ""
 	rep, err := workload.Run(rc)
 	if err != nil {
 		return "", err
@@ -450,6 +487,18 @@ func runWorkload(cfg cliConfig, conns int) (string, error) {
 			fmt.Fprintf(&b, "--- actions ---\n%s", rep.Actions)
 		}
 	}
+	if len(rc.Rules) > 0 {
+		fmt.Fprintf(&b, "alerts:      %d transitions, %d incidents (%d dropped)\n",
+			len(rep.Alerts), len(rep.Incidents), rep.IncidentsDropped)
+		if rep.AlertLog != "" {
+			fmt.Fprintf(&b, "--- alerts ---\n%s", rep.AlertLog)
+		}
+	}
+	if cfg.incidentDir != "" {
+		if err := writeIncidents(cfg.incidentDir, rep, &b); err != nil {
+			return "", err
+		}
+	}
 	if cfg.metrics {
 		reg := telemetry.NewRegistry()
 		reg.Register("server", m)
@@ -460,6 +509,45 @@ func runWorkload(cfg cliConfig, conns int) (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// writeIncidents dumps each captured flight-recorder bundle under dir:
+// incident-<i>-<rule>/report.txt holds the correlated text report,
+// trace.json the ps-windowed Perfetto slice around the firing.
+func writeIncidents(dir string, rep workload.Report, b *strings.Builder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, in := range rep.Incidents {
+		sub := filepath.Join(dir, fmt.Sprintf("incident-%d-%s", i, in.Rule))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(sub, "report.txt"), []byte(in.Report), 0o644); err != nil {
+			return err
+		}
+		events := 0
+		if in.Trace != nil {
+			f, err := os.Create(filepath.Join(sub, "trace.json"))
+			if err != nil {
+				return err
+			}
+			if err := in.Trace.WritePerfetto(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			events = in.Trace.Len()
+		}
+		fmt.Fprintf(b, "incident:    %s (rule %s at %.2fms, %d trace events)\n",
+			sub, in.Rule, float64(in.AtPs)/float64(sim.Ms), events)
+	}
+	if rep.IncidentsDropped > 0 {
+		fmt.Fprintf(b, "incident:    %d firings past the bundle cap were dropped\n", rep.IncidentsDropped)
+	}
+	return nil
 }
 
 // runSharded runs one simulation split across cfg.shards parallel

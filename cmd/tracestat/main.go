@@ -11,6 +11,7 @@
 //	tracestat -trace run.trace.json -waterfall 5    # first 5 request waterfalls
 //	tracestat -trace run.trace.json -pprof sim.pb.gz
 //	go tool pprof -top sim.pb.gz                    # standard tooling on simulated time
+//	tracestat -trace run.trace.json -series         # every counter sample as CSV (plot-ready)
 //
 // KPI regression bench (what `./ci.sh bench` runs):
 //
@@ -25,10 +26,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 	fromPs := flag.Int64("from-ps", 0, "critical path: ignore requests starting before this simulated time")
 	toPs := flag.Int64("to-ps", 0, "critical path: ignore requests ending after this simulated time")
 	shards := flag.Bool("shards", false, "critical path: merged multi-shard trace (per-shard attribution, shared fe/rt planes)")
+	series := flag.Bool("series", false, "dump every counter sample in the trace as CSV (at_ps,track,name,value) — includes the scraped obs series of incident trace slices")
 
 	bench := flag.Bool("bench", false, "run the pinned KPI regression scenarios instead of analyzing a trace")
 	baseline := flag.String("baseline", "BENCH_baseline.json", "bench: committed baseline to compare against")
@@ -55,7 +59,7 @@ func main() {
 			fatal(err)
 		}
 	case *tracePath != "":
-		if err := runTrace(*tracePath, *tree, *top, *critpath, *waterfall, *pprofPath, *fromPs, *toPs, *shards); err != nil {
+		if err := runTrace(*tracePath, *tree, *top, *critpath, *waterfall, *pprofPath, *fromPs, *toPs, *shards, *series); err != nil {
 			fatal(err)
 		}
 	default:
@@ -67,7 +71,7 @@ func main() {
 // runTrace loads one trace and renders the requested views. With no
 // view flags, the profile tree and the critical-path table both print —
 // the "what happened in this run" default.
-func runTrace(path string, tree bool, top int, critpath bool, waterfall int, pprofPath string, fromPs, toPs int64, shards bool) error {
+func runTrace(path string, tree bool, top int, critpath bool, waterfall int, pprofPath string, fromPs, toPs int64, shards, series bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -78,7 +82,12 @@ func runTrace(path string, tree bool, top int, critpath bool, waterfall int, ppr
 		return fmt.Errorf("%s: %w", path, err)
 	}
 
-	wantAll := !tree && top == 0 && !critpath && waterfall == 0 && pprofPath == ""
+	wantAll := !tree && top == 0 && !critpath && waterfall == 0 && pprofPath == "" && !series
+	if series {
+		if err := writeSeriesCSV(os.Stdout, tracks, events, fromPs, toPs); err != nil {
+			return err
+		}
+	}
 	w := os.Stdout
 	if tree || wantAll {
 		p := profile.FromEvents(tracks, events)
@@ -126,13 +135,38 @@ func runTrace(path string, tree bool, top int, critpath bool, waterfall int, ppr
 	return nil
 }
 
+// writeSeriesCSV dumps the trace's counter samples — the scraped obs
+// series a `-scrape-us` run embeds, plus any model counters — in event
+// order as plot-ready CSV. -from-ps/-to-ps clip the dump.
+func writeSeriesCSV(w io.Writer, tracks []string, events []telemetry.Event, fromPs, toPs int64) error {
+	if _, err := fmt.Fprintln(w, "at_ps,track,name,value"); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if ev.Kind != telemetry.KindCounter {
+			continue
+		}
+		if ev.AtPs < fromPs || (toPs > 0 && ev.AtPs > toPs) {
+			continue
+		}
+		track := ""
+		if int(ev.Track) < len(tracks) {
+			track = tracks[ev.Track]
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%g\n", ev.AtPs, track, ev.Name, ev.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runBench executes the pinned scenarios, writes the results, and gates
 // against the baseline (or re-pins it with -update-baseline). The wall
 // clock is injected here — internal/profile stays wall-clock-free — so
 // results carry wall_seconds and sim_req_per_wall_s per scenario; those
 // volatile keys are stripped before a baseline re-pin.
 func runBench(baselinePath, outPath string, tol float64, updateBaseline bool) error {
-	clock := func() int64 { return time.Now().UnixNano() }
+	clock := func() int64 { return time.Now().UnixNano() } // wallclock:ok — bench wall-clock KPI, injected so internal/profile stays clock-free
 	rep, err := profile.RunBenchClocked(profile.DefaultBenchScenarios(), clock)
 	if err != nil {
 		return err

@@ -1,13 +1,13 @@
 // Package autoscale is the SLO-driven fleet controller: a closed loop
-// that watches the telemetry registry on simulated-time ticks and
-// resizes the active rank set — admitting parked ranks when the rolling
-// p99 breaches the latency SLO, draining them back out when the tail
-// falls comfortably under it, and flipping the placement policy when
-// per-rank queue depths diverge. Everything it reads comes through the
-// registry (the same samples an operator would graph): the rolling
-// latency window under <LatencyPrefix>.p99/.count, per-rank queue-depth
-// sketches under fleet.rank<i>.qdepth.p99, the activity bitmap under
-// fleet.state.rank<i>.
+// that subscribes to the observability plane's scrape ticks and resizes
+// the active rank set — admitting parked ranks when the rolling p99
+// breaches the latency SLO, draining them back out when the tail falls
+// comfortably under it, and flipping the placement policy when per-rank
+// queue depths diverge. Everything it reads comes from the obs series
+// store (the same series an operator would graph and alert on): the
+// rolling latency window under <LatencyPrefix>.p99/.count, per-rank
+// queue-depth sketches under fleet.rank<i>.qdepth.p99, the activity
+// bitmap under fleet.state.rank<i>.
 //
 // The controller is deliberately conservative — production autoscalers
 // that react to single samples flap, and flapping is worse than either
@@ -22,18 +22,19 @@
 //     ticks, long enough for the reshard to show up in the window;
 //   - a dead band: between LowFrac*SLO and SLO neither streak grows.
 //
-// The controller runs entirely inside the discrete-event engine (one
-// self-rescheduling tick event), so runs are deterministic: same seed,
-// same trace, same actions, at any GOMAXPROCS.
+// The controller runs inside the scraper's single self-rescheduling
+// engine event (its control tick is every TickPs/ScrapeInterval-th
+// scrape), so runs are deterministic: same seed, same trace, same
+// actions, at any GOMAXPROCS.
 package autoscale
 
 import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/telemetry"
 )
 
 // Scaler is the fleet surface the controller drives. internal/fleet's
@@ -49,18 +50,22 @@ type Scaler interface {
 
 // Config parameterizes a controller.
 type Config struct {
-	Eng *sim.Engine
-	Reg *telemetry.Registry
+	// Obs is the observability plane the controller subscribes to: it
+	// reads the scraped series store instead of re-scanning the raw
+	// registry, and its control tick rides the scraper's engine event.
+	Obs *obs.Scraper
 	Fl  Scaler
 	// Window is the rolling latency record the server feeds; the
 	// controller rolls it once per tick so <LatencyPrefix>.p99 always
 	// spans the last few ticks, not the whole run.
 	Window *stats.Window
-	// LatencyPrefix locates the window's samples in the registry.
+	// LatencyPrefix locates the window's series in the store.
 	// Empty selects "server.window".
 	LatencyPrefix string
 
-	// TickPs is the control interval. Zero selects 500us.
+	// TickPs is the control interval. It must be a whole multiple of the
+	// scraper's interval (the controller acts every TickPs/interval-th
+	// scrape). Zero selects 500us.
 	TickPs int64
 	// SLOPs is the p99 latency objective in picoseconds (required).
 	SLOPs float64
@@ -85,11 +90,15 @@ type Config struct {
 	FlipPolicy     func()
 	ImbalanceRatio float64 // zero selects 4
 	ImbalanceAfter int     // zero selects 3
+
+	// OnAction, when non-nil, observes every control decision as it is
+	// taken — the flight recorder's correlation feed.
+	OnAction func(Action)
 }
 
 func (c *Config) defaults() error {
-	if c.Eng == nil || c.Reg == nil || c.Fl == nil || c.Window == nil {
-		return fmt.Errorf("autoscale: need engine, registry, scaler, and window")
+	if c.Obs == nil || c.Fl == nil || c.Window == nil {
+		return fmt.Errorf("autoscale: need obs scraper, scaler, and window")
 	}
 	if c.SLOPs <= 0 {
 		return fmt.Errorf("autoscale: need a latency SLO")
@@ -99,6 +108,9 @@ func (c *Config) defaults() error {
 	}
 	if c.TickPs <= 0 {
 		c.TickPs = 500 * sim.Us
+	}
+	if iv := c.Obs.IntervalPs(); c.TickPs%iv != 0 {
+		return fmt.Errorf("autoscale: TickPs %d is not a multiple of the scrape interval %d", c.TickPs, iv)
 	}
 	if c.LowFrac <= 0 || c.LowFrac >= 1 {
 		c.LowFrac = 0.4
@@ -144,14 +156,17 @@ func (a Action) String() string {
 
 // Controller is the live autoscaler.
 type Controller struct {
-	cfg Config
+	cfg       Config
+	tickEvery int // control tick = every tickEvery-th scrape
+	scrapes   int
+
+	// Interned series names, so per-tick store reads don't rebuild
+	// strings (mirrors the registry's own name interning).
+	latP99Name, latCountName string
+	stateNames, qdepthNames  []string
 
 	// Actions is the decision log; TraceString renders it.
 	Actions []Action
-	// P99Ps and Active sample the observed tail and active rank count at
-	// every tick (the autoscale figure's timeline).
-	P99Ps  []float64
-	Active []int
 	// Ticks counts control intervals; SLOHeldTicks those whose measured
 	// p99 (with enough samples) met the SLO — the soak's figure of merit.
 	Ticks         int
@@ -168,42 +183,52 @@ func New(cfg Config) (*Controller, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	return &Controller{cfg: cfg}, nil
-}
-
-// Start schedules the first tick one interval out.
-func (c *Controller) Start() {
-	c.cfg.Eng.After(c.cfg.TickPs, c.tick)
-}
-
-// tick is one control interval: read the registry, decide, roll the
-// window, re-arm.
-func (c *Controller) tick() {
-	m := map[string]float64{}
-	for _, s := range c.cfg.Reg.Snapshot() {
-		m[s.Name] = s.Value
+	c := &Controller{
+		cfg:          cfg,
+		tickEvery:    int(cfg.TickPs / cfg.Obs.IntervalPs()),
+		latP99Name:   cfg.LatencyPrefix + ".p99",
+		latCountName: cfg.LatencyPrefix + ".count",
 	}
-	p99 := m[c.cfg.LatencyPrefix+".p99"]
-	count := int(m[c.cfg.LatencyPrefix+".count"])
+	for i := 0; i < cfg.Fl.Members(); i++ {
+		c.stateNames = append(c.stateNames, fmt.Sprintf("fleet.state.rank%d", i))
+		c.qdepthNames = append(c.qdepthNames, fmt.Sprintf("fleet.rank%d.qdepth.p99", i))
+	}
+	return c, nil
+}
+
+// Start subscribes the control loop to the scraper's ticks. Call before
+// the scraper starts running.
+func (c *Controller) Start() {
+	c.cfg.Obs.OnScrape(func(atPs int64, st *obs.Store) {
+		c.scrapes++
+		if c.scrapes%c.tickEvery != 0 {
+			return
+		}
+		c.tick(atPs, st)
+	})
+}
+
+// tick is one control interval: read the freshly scraped series, decide,
+// roll the window.
+func (c *Controller) tick(atPs int64, st *obs.Store) {
+	p99 := st.LastValue(c.latP99Name)
+	count := int(st.LastValue(c.latCountName))
 	c.Ticks++
-	c.P99Ps = append(c.P99Ps, p99)
-	c.Active = append(c.Active, c.cfg.Fl.ActiveMembers())
 
 	if count >= c.cfg.MinSamples {
 		c.MeasuredTicks++
 		if p99 <= c.cfg.SLOPs {
 			c.SLOHeldTicks++
 		}
-		c.decide(p99)
-		c.checkImbalance(m, p99)
+		c.decide(atPs, p99)
+		c.checkImbalance(atPs, st, p99)
 	}
 
 	c.cfg.Window.Roll()
-	c.cfg.Eng.After(c.cfg.TickPs, c.tick)
 }
 
 // decide applies the hysteresis ladder to the measured tail.
-func (c *Controller) decide(p99 float64) {
+func (c *Controller) decide(atPs int64, p99 float64) {
 	if c.cooldown > 0 {
 		c.cooldown--
 		return
@@ -213,13 +238,13 @@ func (c *Controller) decide(p99 float64) {
 		c.breachStreak++
 		c.lowStreak = 0
 		if c.breachStreak >= c.cfg.UpAfter {
-			c.scaleUp(p99)
+			c.scaleUp(atPs, p99)
 		}
 	case p99 < c.cfg.LowFrac*c.cfg.SLOPs:
 		c.lowStreak++
 		c.breachStreak = 0
 		if c.lowStreak >= c.cfg.DownAfter {
-			c.scaleDown(p99)
+			c.scaleDown(atPs, p99)
 		}
 	default:
 		// Dead band: neither streak accumulates across it.
@@ -228,7 +253,7 @@ func (c *Controller) decide(p99 float64) {
 }
 
 // scaleUp admits the lowest-indexed parked rank.
-func (c *Controller) scaleUp(p99 float64) {
+func (c *Controller) scaleUp(atPs int64, p99 float64) {
 	c.breachStreak = 0
 	for i := 0; i < c.cfg.Fl.Members(); i++ {
 		if c.cfg.Fl.IsActive(i) {
@@ -237,7 +262,7 @@ func (c *Controller) scaleUp(p99 float64) {
 		if err := c.cfg.Fl.Admit(i); err != nil {
 			return
 		}
-		c.act("admit", i, p99)
+		c.act(atPs, "admit", i, p99)
 		return
 	}
 	// Every rank already active: nothing to give; stay quiet until the
@@ -245,7 +270,7 @@ func (c *Controller) scaleUp(p99 float64) {
 }
 
 // scaleDown drains the highest-indexed active rank, respecting the floor.
-func (c *Controller) scaleDown(p99 float64) {
+func (c *Controller) scaleDown(atPs int64, p99 float64) {
 	c.lowStreak = 0
 	if c.cfg.Fl.ActiveMembers() <= c.cfg.MinActive {
 		return
@@ -257,23 +282,23 @@ func (c *Controller) scaleDown(p99 float64) {
 		if err := c.cfg.Fl.Drain(i); err != nil {
 			return
 		}
-		c.act("drain", i, p99)
+		c.act(atPs, "drain", i, p99)
 		return
 	}
 }
 
 // checkImbalance watches the active ranks' qdepth p99 spread and fires
 // the policy-flip hook when it stays pathological.
-func (c *Controller) checkImbalance(m map[string]float64, p99 float64) {
+func (c *Controller) checkImbalance(atPs int64, st *obs.Store, p99 float64) {
 	if c.cfg.FlipPolicy == nil || c.flipped {
 		return
 	}
 	min, max, n := 0.0, 0.0, 0
-	for i := 0; i < c.cfg.Fl.Members(); i++ {
-		if m[fmt.Sprintf("fleet.state.rank%d", i)] != 1 {
+	for i := range c.stateNames {
+		if st.LastValue(c.stateNames[i]) != 1 {
 			continue
 		}
-		q := m[fmt.Sprintf("fleet.rank%d.qdepth.p99", i)]
+		q := st.LastValue(c.qdepthNames[i])
 		if n == 0 || q < min {
 			min = q
 		}
@@ -289,13 +314,17 @@ func (c *Controller) checkImbalance(m map[string]float64, p99 float64) {
 	if c.imbStreak++; c.imbStreak >= c.cfg.ImbalanceAfter {
 		c.cfg.FlipPolicy()
 		c.flipped = true
-		c.act("flip-policy", -1, p99)
+		c.act(atPs, "flip-policy", -1, p99)
 	}
 }
 
-func (c *Controller) act(what string, rank int, p99 float64) {
-	c.Actions = append(c.Actions, Action{AtPs: c.cfg.Eng.Now(), What: what, Rank: rank, P99: p99})
+func (c *Controller) act(atPs int64, what string, rank int, p99 float64) {
+	a := Action{AtPs: atPs, What: what, Rank: rank, P99: p99}
+	c.Actions = append(c.Actions, a)
 	c.cooldown = c.cfg.CooldownTicks
+	if c.cfg.OnAction != nil {
+		c.cfg.OnAction(a)
+	}
 }
 
 // SLOHeldFrac is the fraction of measured ticks that met the SLO.

@@ -8,6 +8,7 @@ package autoscale
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -54,7 +55,13 @@ func scriptedP99(reg *telemetry.Registry, script func(tick int) float64) {
 
 func newController(t *testing.T, eng *sim.Engine, reg *telemetry.Registry, fl Scaler, cfg Config) *Controller {
 	t.Helper()
-	cfg.Eng, cfg.Reg, cfg.Fl = eng, reg, fl
+	// One scrape per control tick: the scripted collectors advance one
+	// entry per registry snapshot, i.e. per scrape.
+	sc, err := obs.New(obs.Config{Eng: eng, Reg: reg, IntervalPs: cfg.TickPs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs, cfg.Fl = sc, fl
 	if cfg.Window == nil {
 		cfg.Window = stats.NewWindow(4)
 	}
@@ -63,7 +70,52 @@ func newController(t *testing.T, eng *sim.Engine, reg *telemetry.Registry, fl Sc
 		t.Fatal(err)
 	}
 	c.Start()
+	sc.Start()
 	return c
+}
+
+// A control interval that is not a whole multiple of the scrape
+// interval is a config error, not a silent drift.
+func TestTickMustAlignToScrape(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := telemetry.NewRegistry()
+	sc, err := obs.New(obs.Config{Eng: eng, Reg: reg, IntervalPs: 100 * sim.Us})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{Obs: sc, Fl: newFakeScaler(2, 1), Window: stats.NewWindow(4),
+		SLOPs: 1, TickPs: 150 * sim.Us})
+	if err == nil {
+		t.Fatal("misaligned TickPs validated")
+	}
+}
+
+// A scrape interval finer than the control interval must not change the
+// decision cadence: the controller acts every TickPs/interval-th scrape.
+func TestControlTickSubsamplesScrapes(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := telemetry.NewRegistry()
+	slo := float64(10 * sim.Us)
+	scriptedP99(reg, func(int) float64 { return slo * 3 }) // sustained breach
+	sc, err := obs.New(obs.Config{Eng: eng, Reg: reg, IntervalPs: 50 * sim.Us})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := newFakeScaler(4, 1)
+	c, err := New(Config{Obs: sc, Fl: fl, Window: stats.NewWindow(4),
+		SLOPs: slo, TickPs: 100 * sim.Us, UpAfter: 2, CooldownTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	sc.Start()
+	eng.RunUntil(20 * 100 * sim.Us)
+	if sc.Scrapes != 40 || c.Ticks != 20 {
+		t.Fatalf("scrapes=%d ticks=%d, want 40/20", sc.Scrapes, c.Ticks)
+	}
+	if fl.admits == 0 {
+		t.Fatal("sustained breach never scaled up under subsampled control")
+	}
 }
 
 // TestHysteresisNoFlap is the no-flap gate: a tail oscillating across

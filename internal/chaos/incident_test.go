@@ -1,0 +1,120 @@
+package chaos
+
+// Incident-soak tests: the pinned scenario must reproduce the full
+// alert narrative — burn-rate page, breaker alert, both resolved — with
+// one incident bundle per firing, and the run canonical plus every
+// bundle must replay byte-identically from the seed, serial or pooled,
+// at GOMAXPROCS 1 and 2.
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// The deterministic alert sequence for seed 7 (calibrated against the
+// pinned scenario): the crowd breaches the tail at 3.8ms, the page
+// fires at 4.0ms, the injected fault trips the breaker alert at 4.2ms,
+// the breaker resolves when the trip slides out of its window, and the
+// page resolves once the scaled-up fleet drains the backlog.
+var wantAlertLog = strings.Join([]string{
+	"3800000000 slo-burn inactive->pending v=2.4",
+	"4000000000 slo-burn pending->firing v=3.2",
+	"4200000000 breaker-trip inactive->firing v=1",
+	"4500000000 breaker-trip firing->inactive v=0",
+	"9800000000 slo-burn firing->inactive v=2",
+	"",
+}, "\n")
+
+func TestIncidentSoak(t *testing.T) {
+	rep, err := RunIncidentSoak(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.AlertLog != wantAlertLog {
+		t.Fatalf("alert log:\n%swant:\n%s", rep.AlertLog, wantAlertLog)
+	}
+	if len(rep.Incidents) != 2 {
+		t.Fatalf("%d incidents, want 2", len(rep.Incidents))
+	}
+	// Bundle order is firing order: page first, breaker second.
+	if rep.Incidents[0].Rule != "slo-burn" || rep.Incidents[1].Rule != "breaker-trip" {
+		t.Fatalf("incident order = [%s %s], want [slo-burn breaker-trip]",
+			rep.Incidents[0].Rule, rep.Incidents[1].Rule)
+	}
+	// The breaker bundle's 2ms lookback reaches back across the page:
+	// its timeline must correlate the fault, the page, and the
+	// autoscaler's first admission.
+	breaker := rep.Incidents[1].Report
+	for _, want := range []string{
+		"fault fail rank1",
+		"alert slo-burn pending->firing",
+		"3600000000 action admit d2",
+	} {
+		if !strings.Contains(breaker, want) {
+			t.Errorf("breaker bundle missing %q:\n%s", want, breaker)
+		}
+	}
+	// Each bundle pins its trace slice with a digest.
+	for i, b := range rep.Bundles {
+		if !strings.Contains(b, "trace_sha256 ") {
+			t.Errorf("bundle %d has no trace digest", i)
+		}
+	}
+	t.Logf("incident soak: slo_held=%.0f%% alerts=%d bundles=%d",
+		rep.SLOHeldFrac*100, len(rep.Alerts), len(rep.Bundles))
+}
+
+func TestIncidentSoakReplaysFromSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay soak is the long half of the gate")
+	}
+	ref, err := RunIncidentSoak(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, got IncidentReport) {
+		t.Helper()
+		if got.Canonical != ref.Canonical {
+			t.Fatalf("%s canonical differs from serial:\n--- serial ---\n%s--- %s ---\n%s",
+				label, ref.Canonical, label, got.Canonical)
+		}
+		if len(got.Bundles) != len(ref.Bundles) {
+			t.Fatalf("%s captured %d bundles, serial %d", label, len(got.Bundles), len(ref.Bundles))
+		}
+		for i := range ref.Bundles {
+			if got.Bundles[i] != ref.Bundles[i] {
+				t.Fatalf("%s bundle %d differs from serial:\n--- serial ---\n%s--- %s ---\n%s",
+					label, i, ref.Bundles[i], label, got.Bundles[i])
+			}
+		}
+	}
+	pooled, err := RunIncidentSoak(7, runner.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("pooled", pooled)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2} {
+		runtime.GOMAXPROCS(procs)
+		again, err := RunIncidentSoak(7, runner.New(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.GOMAXPROCS(prev)
+		check("gomaxprocs", again)
+	}
+	other, err := RunIncidentSoak(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Canonical == ref.Canonical {
+		t.Fatal("different seeds produced identical canonical reports")
+	}
+}

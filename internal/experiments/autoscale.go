@@ -68,6 +68,9 @@ func Autoscale(seed int64) (AutoscaleResult, error) {
 			{AtPs: faultPs, Rank: 1},
 			{AtPs: 7 * sim.Ms, Rank: 1, Restore: true},
 		},
+		// The default alert rules ride the same scraper the controller
+		// reads; their transitions land on the timeline as tick marks.
+		Rules: workload.DefaultAlertRules(res.SLOPs),
 	})
 	if err != nil {
 		return res, err
@@ -100,6 +103,18 @@ func Autoscale(seed int64) (AutoscaleResult, error) {
 			res.Points[idx].Mark += ", "
 		}
 		res.Points[idx].Mark += what
+	}
+	// Alert transitions land on scrape instants — tick instants here, the
+	// scraper defaulting to the control interval.
+	for _, tr := range rep.Alerts {
+		idx := int(tr.AtPs/tickPs) - 1
+		if idx < 0 || idx >= len(res.Points) {
+			continue
+		}
+		if res.Points[idx].Mark != "" {
+			res.Points[idx].Mark += ", "
+		}
+		res.Points[idx].Mark += fmt.Sprintf("[%s %s->%s]", tr.Rule, tr.From, tr.To)
 	}
 	return res, nil
 }

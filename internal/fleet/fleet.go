@@ -985,13 +985,20 @@ func (f *Fleet) RegisterMetrics(reg *telemetry.Registry) {
 	for _, m := range f.members {
 		reg.Register(fmt.Sprintf("fleet.rank%d.qdepth", m.idx), &m.QDepth)
 	}
+	// Sample names are precomputed: collectors run on every scrape, and a
+	// per-emit Sprintf would be the one allocation left on the scraper's
+	// zero-alloc snapshot path.
+	rankNames := make([]string, len(f.members))
+	for i, m := range f.members {
+		rankNames[i] = fmt.Sprintf("rank%d", m.idx)
+	}
 	reg.Register("fleet.state", telemetry.CollectorFunc(func(emit func(telemetry.Sample)) {
-		for _, m := range f.members {
+		for i, m := range f.members {
 			v := 0.0
 			if m.state == memberActive {
 				v = 1
 			}
-			emit(telemetry.Sample{Name: fmt.Sprintf("rank%d", m.idx), Value: v})
+			emit(telemetry.Sample{Name: rankNames[i], Value: v})
 		}
 	}))
 	reg.Register("fleet", telemetry.CollectorFunc(func(emit func(telemetry.Sample)) {

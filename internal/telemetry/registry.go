@@ -42,6 +42,15 @@ type Registry struct {
 	mu       sync.Mutex
 	prefixes []string
 	cs       []Collector
+
+	// SnapshotInto scratch, guarded by mu: a reusable emit closure plus
+	// a per-prefix full-name cache so steady-state snapshots allocate
+	// nothing — the obs scraper reads the registry every few hundred
+	// simulated microseconds, and per-tick garbage would dominate.
+	emit      func(Sample)
+	out       []Sample
+	curPrefix string
+	names     map[string]map[string]string // prefix -> bare name -> full name
 }
 
 // NewRegistry returns an empty registry.
@@ -86,23 +95,48 @@ func (r *Registry) Sort() {
 // Snapshot collects every registered collector once, in registration
 // order (or prefix order after Sort).
 func (r *Registry) Snapshot() []Sample {
+	return r.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot reusing the caller's sample slice: buf is
+// truncated and refilled, growing only until it fits the sample set, so
+// a caller that feeds the previous result back in (the obs scraper,
+// once per scrape tick) reaches a 0 allocs/op steady state. Full names
+// ("prefix.name") are interned in a per-prefix cache instead of being
+// re-concatenated every call. Collectors run under the registry lock:
+// a Collect implementation must not call back into this Registry.
+func (r *Registry) SnapshotInto(buf []Sample) []Sample {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	prefixes := append([]string(nil), r.prefixes...)
-	cs := append([]Collector(nil), r.cs...)
-	r.mu.Unlock()
-	var out []Sample
-	for i, c := range cs {
-		prefix := prefixes[i]
-		c.Collect(func(s Sample) {
-			if prefix != "" {
-				s.Name = prefix + "." + s.Name
+	defer r.mu.Unlock()
+	if r.emit == nil {
+		r.names = map[string]map[string]string{}
+		r.emit = func(s Sample) {
+			if r.curPrefix != "" {
+				byBare := r.names[r.curPrefix]
+				if byBare == nil {
+					byBare = map[string]string{}
+					r.names[r.curPrefix] = byBare
+				}
+				full, ok := byBare[s.Name]
+				if !ok {
+					full = r.curPrefix + "." + s.Name
+					byBare[s.Name] = full
+				}
+				s.Name = full
 			}
-			out = append(out, s)
-		})
+			r.out = append(r.out, s)
+		}
 	}
+	r.out = buf[:0]
+	for i, c := range r.cs {
+		r.curPrefix = r.prefixes[i]
+		c.Collect(r.emit)
+	}
+	out := r.out
+	r.out = nil // don't pin the caller's backing array past the call
 	return out
 }
 

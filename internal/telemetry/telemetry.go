@@ -146,3 +146,31 @@ func (t *Tracer) Tracks() []string {
 	}
 	return t.names
 }
+
+// Slice returns a new Tracer holding the events that overlap the
+// simulated-time window [fromPs, toPs] — the flight recorder's scoped
+// incident export. Every track is carried over (IDs stay valid), spans
+// are kept whole whenever any part of them overlaps the window
+// (timestamps are never clipped or rewritten, so the slice stays
+// byte-faithful to the original), and emission order is preserved. On a
+// nil Tracer it returns nil.
+func (t *Tracer) Slice(fromPs, toPs int64) *Tracer {
+	if t == nil {
+		return nil
+	}
+	out := New()
+	for _, name := range t.names {
+		out.Track(name)
+	}
+	for _, e := range t.events {
+		end := e.AtPs
+		if e.Kind == KindSpan {
+			end += e.DurPs
+		}
+		if end < fromPs || e.AtPs > toPs {
+			continue
+		}
+		out.events = append(out.events, e)
+	}
+	return out
+}

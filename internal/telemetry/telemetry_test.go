@@ -118,6 +118,47 @@ func TestPerfettoReproducible(t *testing.T) {
 	}
 }
 
+// Slice keeps every event overlapping the window — spans whole, with
+// original timestamps — carries all tracks over, and preserves emission
+// order.
+func TestTracerSlice(t *testing.T) {
+	tr := New()
+	a := tr.Track("a")
+	b := tr.Track("b")
+	tr.Span(a, "before", 0, 50)           // ends at 50 < from: dropped
+	tr.Span(a, "straddle-in", 80, 40)     // ends inside window: kept whole
+	tr.Instant(b, "inside", 150)          // kept
+	tr.Counter(b, "c", 190, 2)            // kept
+	tr.Span(a, "straddle-out", 195, 1000) // starts inside: kept whole
+	tr.Instant(b, "after", 201)           // starts past to: dropped
+
+	s := tr.Slice(100, 200)
+	if got := s.Tracks(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("slice tracks = %v, want [a b]", got)
+	}
+	ev := s.Events()
+	names := make([]string, len(ev))
+	for i, e := range ev {
+		names[i] = e.Name
+	}
+	want := []string{"straddle-in", "inside", "c", "straddle-out"}
+	if len(names) != len(want) {
+		t.Fatalf("slice events = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("slice events = %v, want %v", names, want)
+		}
+	}
+	if ev[0].AtPs != 80 || ev[0].DurPs != 40 {
+		t.Fatalf("straddling span rewritten: %+v", ev[0])
+	}
+	var nilTr *Tracer
+	if nilTr.Slice(0, 100) != nil {
+		t.Fatal("nil Slice returned a tracer")
+	}
+}
+
 func TestRegistryOrderAndText(t *testing.T) {
 	r := NewRegistry()
 	r.Register("b", CollectorFunc(func(emit func(Sample)) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dram"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -54,9 +55,25 @@ type RunConfig struct {
 	Embed EmbedConfig
 
 	// Scale, when non-nil, runs the autoscaler over the fleet: Run fills
-	// Eng/Reg/Fl/Window, and installs a default FlipPolicy (switch to
+	// Obs/Fl/Window, and installs a default FlipPolicy (switch to
 	// LeastLoaded) when none is set.
 	Scale *autoscale.Config
+
+	// ScrapePs is the obs scrape interval. Zero selects the autoscaler's
+	// control interval (one scrape per tick), or 200us without a Scale.
+	// The control interval must be a whole multiple of it.
+	ScrapePs int64
+	// SeriesCap bounds each series ring; zero sizes the ring to hold the
+	// whole run so tick timelines stay index-aligned.
+	SeriesCap int
+	// Rules are alert rules evaluated on every scrape tick.
+	Rules []obs.Rule
+	// Record arms the per-run tracer and flight recorder: every rule
+	// firing captures an incident bundle (ps-windowed trace slice plus
+	// canonical report correlating alerts, actions, and faults).
+	Record bool
+	// LookbackPs is the incident bundle window; zero selects 2ms.
+	LookbackPs int64
 
 	// Faults are injected fleet events (flash-crowd chaos).
 	Faults []Fault
@@ -119,6 +136,16 @@ type Report struct {
 	ActiveTimeline []int
 	P99Timeline    []float64 // observed tail per control tick
 	Placement      string    // fleet placement trace (TracePlacement only)
+	// Observability outcome (zero-valued when the obs plane was off).
+	AlertLog         string // obs transition log, one line per transition
+	Alerts           []obs.Transition
+	Incidents        []obs.Incident
+	IncidentsDropped int
+	// Store is the scraped series store (nil when the plane was off) —
+	// the figures' timeline source. Not part of Canonical.
+	Store *obs.Store
+	// Trace is the run tracer (Record only). Not part of Canonical.
+	Trace *telemetry.Tracer
 }
 
 // Collect implements telemetry.Collector.
@@ -153,6 +180,9 @@ func (r Report) Canonical() string {
 	fmt.Fprintf(&b, "active_timeline %v\n", r.ActiveTimeline)
 	b.WriteString("--- actions ---\n")
 	b.WriteString(r.Actions)
+	b.WriteString("--- alerts ---\n")
+	b.WriteString(r.AlertLog)
+	fmt.Fprintf(&b, "incidents %d dropped %d\n", len(r.Incidents), r.IncidentsDropped)
 	if r.Placement != "" {
 		b.WriteString("--- placement ---\n")
 		b.WriteString(r.Placement)
@@ -166,12 +196,17 @@ func Run(cfg RunConfig) (Report, error) {
 	if err := cfg.defaults(); err != nil {
 		return Report{}, err
 	}
+	var tracer *telemetry.Tracer
+	if cfg.Record {
+		tracer = telemetry.New()
+	}
 	params := sim.DefaultParams()
 	sys, err := sim.NewSystem(sim.SystemConfig{
 		Params: params, LLCBytes: 2 << 20, LLCWays: 8,
 		Geometry:       dram.Geometry{Ranks: 1, BankGroups: 4, BanksPerBG: 4, Rows: 4096, ColsPerRow: 128},
 		WithSmartDIMM:  true,
 		SmartDIMMRanks: cfg.Ranks,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return Report{}, err
@@ -243,17 +278,69 @@ func Run(cfg RunConfig) (Report, error) {
 	// every completion would be observed twice.
 	gen := wrkgen.NewOpenLoop(sys.Engine, srv, trace, nil)
 
+	// The observability plane: armed whenever anything consumes it (the
+	// autoscaler, alert rules, or the flight recorder). Bench runs with
+	// none of those schedule no scrape events and stay byte-identical.
+	var (
+		scraper *obs.Scraper
+		rec     *obs.Recorder
+		tickPs  int64
+	)
+	if cfg.Scale != nil {
+		if tickPs = cfg.Scale.TickPs; tickPs <= 0 {
+			tickPs = 500 * sim.Us
+		}
+	}
+	if cfg.Scale != nil || len(cfg.Rules) > 0 || cfg.Record || cfg.ScrapePs > 0 {
+		scrapePs := cfg.ScrapePs
+		if scrapePs <= 0 {
+			if scrapePs = tickPs; scrapePs <= 0 {
+				scrapePs = 200 * sim.Us
+			}
+		}
+		seriesCap := cfg.SeriesCap
+		if seriesCap <= 0 {
+			// Hold the whole run: tick timelines index straight into the
+			// ring only while it has not wrapped.
+			seriesCap = int((cfg.HorizonPs+cfg.DrainPs)/scrapePs) + 8
+		}
+		if cfg.Record {
+			rec = obs.NewRecorder(obs.RecorderConfig{LookbackPs: cfg.LookbackPs})
+		}
+		scraper, err = obs.New(obs.Config{
+			Eng: sys.Engine, Reg: reg, IntervalPs: scrapePs, SeriesCap: seriesCap,
+			Rules: cfg.Rules, Tracer: tracer,
+			TraceSeries: []string{"server.window.p99", "fleet.active"},
+			Recorder:    rec,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+	}
+
 	var ctl *autoscale.Controller
 	if cfg.Scale != nil {
 		sc := *cfg.Scale
-		sc.Eng, sc.Reg, sc.Fl, sc.Window = sys.Engine, reg, fl, win
+		sc.Obs, sc.Fl, sc.Window = scraper, fl, win
 		if sc.FlipPolicy == nil {
 			sc.FlipPolicy = func() { fl.SetPolicy(fleet.LeastLoaded) }
+		}
+		if rec != nil && sc.OnAction == nil {
+			sc.OnAction = func(a autoscale.Action) {
+				if a.Rank < 0 {
+					rec.Note(a.AtPs, "action", fmt.Sprintf("%s p99=%g", a.What, a.P99))
+				} else {
+					rec.Note(a.AtPs, "action", fmt.Sprintf("%s d%d p99=%g", a.What, a.Rank, a.P99))
+				}
+			}
 		}
 		if ctl, err = autoscale.New(sc); err != nil {
 			return Report{}, err
 		}
 		ctl.Start()
+	}
+	if scraper != nil {
+		scraper.Start()
 	}
 
 	for _, f := range cfg.Faults {
@@ -261,8 +348,10 @@ func Run(cfg RunConfig) (Report, error) {
 		sys.Engine.At(f.AtPs, func() {
 			if f.Restore {
 				_ = fl.Admit(f.Rank)
+				rec.Note(f.AtPs, "fault", fmt.Sprintf("restore rank%d", f.Rank))
 			} else {
 				_ = fl.Fail(f.Rank)
+				rec.Note(f.AtPs, "fault", fmt.Sprintf("fail rank%d", f.Rank))
 			}
 		})
 	}
@@ -291,14 +380,69 @@ func Run(cfg RunConfig) (Report, error) {
 	if em != nil {
 		rep.Gathers = em.Gathers
 	}
+	if scraper != nil {
+		rep.AlertLog = scraper.AlertLogString()
+		rep.Alerts = scraper.Transitions()
+		rep.Store = scraper.Store()
+		rep.Trace = tracer
+	}
+	if rec != nil {
+		rep.Incidents = rec.Incidents
+		rep.IncidentsDropped = rec.Dropped
+	}
 	if ctl != nil {
 		rep.SLOHeldFrac = ctl.SLOHeldFrac()
 		rep.Actions = ctl.TraceString()
-		rep.ActiveTimeline = ctl.Active
-		rep.P99Timeline = ctl.P99Ps
+		// The figure timelines come from the series store: the control
+		// tick is every tickEvery-th scrape, so every tickEvery-th point
+		// of a series is its value at a tick.
+		tickEvery := int(tickPs / scraper.IntervalPs())
+		prefix := cfg.Scale.LatencyPrefix
+		if prefix == "" {
+			prefix = "server.window"
+		}
+		p99s := seriesAtTicks(rep.Store, prefix+".p99", tickEvery)
+		actives := seriesAtTicks(rep.Store, "fleet.active", tickEvery)
+		rep.P99Timeline = p99s
+		rep.ActiveTimeline = make([]int, len(actives))
+		for i, v := range actives {
+			rep.ActiveTimeline[i] = int(v)
+		}
 	}
 	if cfg.TracePlacement {
 		rep.Placement = fl.TraceString()
 	}
 	return rep, nil
+}
+
+// DefaultAlertRules is the production rule set for a workload run: a
+// multi-window SLO burn-rate page on the rolling server tail (budget
+// 25% of scrape intervals over SLO; page while both the 1ms and 400us
+// windows burn at more than 2x budget, damped by 200us of For), and an
+// instant breaker alert on any fleet trip in the last 300us.
+func DefaultAlertRules(sloPs float64) []obs.Rule {
+	return []obs.Rule{
+		obs.BurnRate("slo-burn", "server.window.p99", sloPs,
+			0.25, 2, sim.Ms, 400*sim.Us, 200*sim.Us),
+		obs.Threshold("breaker-trip", "fleet.trips", obs.ReduceDelta,
+			300*sim.Us, 0.5, 0),
+	}
+}
+
+// seriesAtTicks extracts every every-th point of a scraped series —
+// its value at each control tick, given one tick per every scrapes.
+// Run sizes the ring to the whole run, so indices align with scrape
+// numbers (the alignment the non-wrapping ring guarantees).
+func seriesAtTicks(st *obs.Store, name string, every int) []float64 {
+	se := st.Series(name)
+	if se == nil || every <= 0 {
+		return nil
+	}
+	var out []float64
+	for i := 0; i < se.Len(); i++ {
+		if (i+1)%every == 0 {
+			out = append(out, se.At(i).V)
+		}
+	}
+	return out
 }
